@@ -1,0 +1,303 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (printed first, so `dune exec bench/main.exe` is the
+   one-shot reproduction artifact), then times the underlying simulation
+   kernels with Bechamel — one Test.make per table/figure, measuring the
+   code that computes it. *)
+
+open Bechamel
+open Toolkit
+
+let config = Hnlpu.Config.gpt_oss_120b
+
+(* --- Kernels under test ------------------------------------------------- *)
+
+let bench_figure2 =
+  Test.make ~name:"figure2/strawman-economics"
+    (Staged.stage (fun () ->
+         ignore (Hnlpu.Strawman.estimate config);
+         ignore (Hnlpu.Strawman.gpu_economics ())))
+
+let operator_gemv =
+  lazy
+    (let rng = Hnlpu.Rng.create 20260706 in
+     let g = Hnlpu.Gemv.paper_benchmark rng in
+     let x = Hnlpu.Gemv.random_activations rng g in
+     (g, x))
+
+let bench_figure12_me_build =
+  Test.make ~name:"figure12/metal-embedding-build"
+    (Staged.stage (fun () ->
+         let g, _ = Lazy.force operator_gemv in
+         ignore (Hnlpu.Metal_embedding.make g)))
+
+let bench_figure13_me_run =
+  let machine =
+    lazy
+      (let g, _ = Lazy.force operator_gemv in
+       Hnlpu.Metal_embedding.make g)
+  in
+  Test.make ~name:"figure13/metal-embedding-gemv"
+    (Staged.stage (fun () ->
+         let _, x = Lazy.force operator_gemv in
+         ignore (Hnlpu.Metal_embedding.run (Lazy.force machine) x)))
+
+let bench_figure13_ce_run =
+  let machine =
+    lazy
+      (let g, _ = Lazy.force operator_gemv in
+       Hnlpu.Cell_embedding.make g)
+  in
+  Test.make ~name:"figure13/cell-embedding-gemv"
+    (Staged.stage (fun () ->
+         let _, x = Lazy.force operator_gemv in
+         ignore (Hnlpu.Cell_embedding.run (Lazy.force machine) x)))
+
+let bench_figure13_ma_run =
+  let machine =
+    lazy
+      (let g, _ = Lazy.force operator_gemv in
+       Hnlpu.Mac_array.make g)
+  in
+  Test.make ~name:"figure13/mac-array-gemv"
+    (Staged.stage (fun () ->
+         let _, x = Lazy.force operator_gemv in
+         ignore (Hnlpu.Mac_array.run (Lazy.force machine) x)))
+
+let bench_table1 =
+  Test.make ~name:"table1/floorplan"
+    (Staged.stage (fun () -> ignore (Hnlpu.Floorplan.table1 ())))
+
+let bench_table2 =
+  Test.make ~name:"table2/system-comparison"
+    (Staged.stage (fun () -> ignore (Hnlpu.Compare.table2 ())))
+
+let bench_figure14 =
+  Test.make ~name:"figure14/context-sweep"
+    (Staged.stage (fun () -> ignore (Hnlpu.Perf.figure14 config)))
+
+let bench_table3 =
+  Test.make ~name:"table3/tco-scenarios"
+    (Staged.stage (fun () -> ignore (Hnlpu.Tco.table3 ())))
+
+let bench_table4 =
+  Test.make ~name:"table4/model-nre"
+    (Staged.stage (fun () -> ignore (Hnlpu.Model_nre.table4 ())))
+
+let bench_table5 =
+  Test.make ~name:"table5/cost-breakdown"
+    (Staged.stage (fun () -> ignore (Hnlpu.Cost_breakdown.to_table ())))
+
+(* Supporting kernels: the substrates the experiments ride on. *)
+
+let tiny_weights = lazy (Hnlpu.Weights.random (Hnlpu.Rng.create 9) Hnlpu.Config.tiny_hnlpu)
+
+let bench_reference_forward =
+  Test.make ~name:"substrate/reference-transformer-token"
+    (Staged.stage (fun () ->
+         let t = Hnlpu.Transformer.create (Lazy.force tiny_weights) in
+         ignore (Hnlpu.Transformer.forward t ~token:3)))
+
+let bench_dataflow_forward =
+  Test.make ~name:"substrate/distributed-dataflow-token"
+    (Staged.stage (fun () ->
+         let d = Hnlpu.Dataflow.create (Lazy.force tiny_weights) in
+         ignore (Hnlpu.Dataflow.forward d ~token:3)))
+
+let bench_scheduler =
+  Test.make ~name:"substrate/continuous-batching-200req"
+    (Staged.stage (fun () ->
+         let rng = Hnlpu.Rng.create 5 in
+         let reqs =
+           Hnlpu.Scheduler.workload rng ~n:200 ~rate_per_s:5000.0 ~mean_prefill:64
+             ~mean_decode:32
+         in
+         ignore (Hnlpu.Scheduler.simulate config reqs)))
+
+let bench_csa =
+  let data = lazy (Array.init 1024 (fun i -> (i * 2654435761) land 4095)) in
+  Test.make ~name:"substrate/csa-reduce-1024x12b"
+    (Staged.stage (fun () -> ignore (Hnlpu.Csa.reduce ~width:12 (Lazy.force data))))
+
+let bench_trace =
+  Test.make ~name:"substrate/pipeline-trace-500tok"
+    (Staged.stage (fun () -> ignore (Hnlpu.Trace.run ~tokens:500 config)))
+
+let bench_ablation =
+  Test.make ~name:"ablation/interconnect-sweep"
+    (Staged.stage (fun () -> ignore (Hnlpu.Ablation.interconnect_sweep config)))
+
+let bench_beam =
+  Test.make ~name:"substrate/beam-search-4x6"
+    (Staged.stage (fun () ->
+         let t = Hnlpu.Transformer.create
+             (Hnlpu.Weights.random (Hnlpu.Rng.create 21) Hnlpu.Config.tiny) in
+         ignore (Hnlpu.Generation.beam_search t ~prompt:[ 1 ] ~beams:4 ~max_new_tokens:6 ())))
+
+let bench_speculative =
+  Test.make ~name:"substrate/speculative-decode"
+    (Staged.stage (fun () ->
+         let target = Hnlpu.Transformer.create
+             (Hnlpu.Weights.random (Hnlpu.Rng.create 22) Hnlpu.Config.tiny) in
+         let draft = Hnlpu.Transformer.create
+             (Hnlpu.Weights.random (Hnlpu.Rng.create 23) Hnlpu.Config.tiny_dense) in
+         ignore
+           (Hnlpu.Speculative.generate ~target ~draft ~prompt:[ 1 ] ~max_new_tokens:12
+              ~lookahead:3 ())))
+
+let bench_compiler =
+  Test.make ~name:"substrate/hn-compiler-2880x2"
+    (Staged.stage (fun () ->
+         let g = Hnlpu.Gemv.random (Hnlpu.Rng.create 24) ~in_features:2880
+             ~out_features:2 ~act_bits:8 in
+         ignore (Hnlpu.Hn_compiler.compile g)))
+
+let bench_fp4_quantize =
+  let data =
+    lazy
+      (let rng = Hnlpu.Rng.create 11 in
+       Array.init 4096 (fun _ -> Hnlpu.Rng.gaussian rng))
+  in
+  Test.make ~name:"substrate/mxfp4-quantize-4096"
+    (Staged.stage (fun () -> ignore (Hnlpu.Blockscale.quantize (Lazy.force data))))
+
+let all_tests =
+  Test.make_grouped ~name:"hnlpu" ~fmt:"%s %s"
+    [
+      bench_figure2;
+      bench_figure12_me_build;
+      bench_figure13_ma_run;
+      bench_figure13_ce_run;
+      bench_figure13_me_run;
+      bench_table1;
+      bench_table2;
+      bench_figure14;
+      bench_table3;
+      bench_table4;
+      bench_table5;
+      bench_reference_forward;
+      bench_dataflow_forward;
+      bench_scheduler;
+      bench_trace;
+      bench_ablation;
+      bench_beam;
+      bench_speculative;
+      bench_compiler;
+      bench_csa;
+      bench_fp4_quantize;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _witness tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> Hnlpu.Units.seconds (e *. 1e-9)
+            | _ -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          rows := (name, time, r2) :: !rows)
+        tbl)
+    results;
+  let t = Hnlpu.Table.create ~headers:[ "Benchmark"; "Time/run"; "R^2" ] in
+  List.iter
+    (fun (name, time, r2) -> Hnlpu.Table.add_row t [ name; time; r2 ])
+    (List.sort compare !rows);
+  Hnlpu.Table.print ~title:"Micro-benchmarks (Bechamel, monotonic clock)" t
+
+let print_figures () =
+  print_endline "Figure 12 (area vs the MA SRAM baseline)";
+  print_string (Hnlpu.Experiments.figure12_chart ());
+  print_newline ();
+  print_endline "Figure 13 (energy per GEMV, log scale, nJ)";
+  print_string (Hnlpu.Experiments.figure13_chart ());
+  print_newline ();
+  print_endline "Figure 14 (execution-time breakdown per token)";
+  print_string (Hnlpu.Experiments.figure14_chart ())
+
+let print_extensions () =
+  print_endline "Extension studies (\xc2\xa78 discussion, see EXPERIMENTS.md)";
+  let t =
+    Hnlpu.Table.create
+      ~headers:[ "Study"; "Headline result" ]
+  in
+  let row a b = Hnlpu.Table.add_row t [ a; b ] in
+  let sw = Hnlpu.Ablation.sliding_window_sweep () in
+  let sw512 = List.nth sw (List.length sw - 1) in
+  row "sliding window @512K"
+    (Printf.sprintf "%.2fx decode speedup" sw512.Hnlpu.Ablation.speedup);
+  let spec = Hnlpu.Ablation.speculative_sweep config in
+  let best =
+    List.fold_left
+      (fun acc r -> Float.max acc r.Hnlpu.Ablation.spec_speedup)
+      0.0 spec
+  in
+  row "speculative decode (a=0.7)" (Printf.sprintf "up to %.2fx" best);
+  (match Hnlpu.Ablation.interconnect_sweep config with
+  | [ _; _; _; wafer ] ->
+    row "wafer-scale interconnect"
+      (Printf.sprintf "%s tokens/s"
+         (Hnlpu.Units.group_thousands
+            (int_of_float wafer.Hnlpu.Ablation.throughput_tokens_per_s)))
+  | _ -> ());
+  let e = Hnlpu.Energy.analyze () in
+  row "energy per token"
+    (Printf.sprintf "%.1f mJ (%.1f tokens/J)" e.Hnlpu.Energy.total_mj_per_token
+       e.Hnlpu.Energy.tokens_per_joule);
+  let lo, hi = Hnlpu.Tco.tco_dynamic_ratio Hnlpu.Tco.High in
+  row "TCO advantage (high volume)" (Printf.sprintf "%.1fx - %.1fx" lo hi);
+  row "carbon advantage" (Printf.sprintf "%.0fx" (Hnlpu.Tco.carbon_ratio Hnlpu.Tco.High));
+  Hnlpu.Table.print t
+
+let print_signoff () =
+  print_endline "Sign-off checks (paper \xc2\xa77.1)";
+  let th = Hnlpu.Thermal.analyze () in
+  Printf.printf "  thermal: avg %.3f W/mm2, peak %.2f, junction %.1fC -> %s\n"
+    th.Hnlpu.Thermal.average_w_per_mm2 th.Hnlpu.Thermal.peak_w_per_mm2
+    th.Hnlpu.Thermal.junction_temp_c
+    (if th.Hnlpu.Thermal.within_limits then "PASS" else "FAIL");
+  let r = Hnlpu.Routing.analyze config in
+  Printf.printf "  ME routing: %.1f%% density, R %.0f ohm, C %.2f fF -> %s\n"
+    (r.Hnlpu.Routing.utilization *. 100.0) r.Hnlpu.Routing.avg_resistance_ohm
+    r.Hnlpu.Routing.avg_capacitance_ff
+    (if r.Hnlpu.Routing.congestion_free then "PASS" else "FAIL");
+  let t = Hnlpu.Trace.run ~tokens:500 config in
+  Printf.printf "  trace: simulated latency %.1f us vs model %.1f us\n"
+    (t.Hnlpu.Trace.measured_latency_s *. 1e6)
+    (t.Hnlpu.Trace.predicted_latency_s *. 1e6)
+
+let () =
+  print_endline "HNLPU reproduction — paper tables and figures";
+  print_endline "=============================================";
+  print_newline ();
+  print_string (Hnlpu.Experiments.render_all ());
+  print_newline ();
+  print_figures ();
+  print_newline ();
+  print_signoff ();
+  print_newline ();
+  print_extensions ();
+  print_newline ();
+  print_results (benchmark ())

@@ -1,0 +1,669 @@
+(* hnlpu — command-line front end for the HNLPU reproduction.
+
+   Subcommands map to the paper's evaluation artifacts:
+     tables     regenerate any/all of the paper's tables and figures
+     perf       performance model queries (throughput, latency, breakdown)
+     tco        total-cost-of-ownership scenarios
+     nre        mask NRE for arbitrary model footprints
+     simulate   continuous-batching workload simulation
+     generate   run the tiny reference MoE transformer end-to-end
+     neuron     run the three embedding machines on the operator benchmark *)
+
+open Cmdliner
+open Hnlpu
+
+let config = Config.gpt_oss_120b
+
+(* --- tables ----------------------------------------------------------- *)
+
+let tables_cmd =
+  let which =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Which artifact to print: figure2, figure12, figure13, figure14, \
+             table1..table5. Prints everything when omitted.")
+  in
+  let run which =
+    match which with
+    | None -> print_string (Experiments.render_all ())
+    | Some name ->
+      let pick =
+        match String.lowercase_ascii name with
+        | "figure2" | "fig2" -> Some (Experiments.figure2 ())
+        | "figure12" | "fig12" -> Some (Experiments.figure12 ())
+        | "figure13" | "fig13" -> Some (Experiments.figure13 ())
+        | "figure14" | "fig14" -> Some (Experiments.figure14 ())
+        | "table1" -> Some (Experiments.table1 ())
+        | "table2" -> Some (Experiments.table2 ())
+        | "table3" -> Some (Experiments.table3 ())
+        | "table4" -> Some (Experiments.table4 ())
+        | "table5" -> Some (Experiments.table5 ())
+        | _ -> None
+      in
+      (match pick with
+      | Some t -> Table.print t
+      | None ->
+        Printf.eprintf "unknown artifact %S\n" name;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ which)
+
+(* --- perf ------------------------------------------------------------- *)
+
+let context_arg =
+  Arg.(
+    value & opt int 2048
+    & info [ "context"; "c" ] ~docv:"TOKENS" ~doc:"Context length in tokens.")
+
+let perf_cmd =
+  let stages_flag =
+    Arg.(value & flag & info [ "stages" ] ~doc:"Also print the Figure 11 six-stage split.")
+  in
+  let run context stages =
+    let b = Perf.token_breakdown config ~context in
+    let f = Perf.fractions b in
+    Printf.printf "HNLPU on %s, context %d:\n" config.Config.name context;
+    Printf.printf "  token latency     %s\n" (Units.seconds (Perf.total_s b));
+    Printf.printf "  pipeline slots    %d\n" (Perf.pipeline_slots config);
+    Printf.printf "  throughput        %s tokens/s\n"
+      (Units.group_thousands
+         (int_of_float (Perf.throughput_tokens_per_s config ~context)));
+    let line name v frac =
+      Printf.printf "  %-12s %10s  %s\n" name (Units.seconds v) (Units.percent frac)
+    in
+    line "CXL comm" b.Perf.comm_s f.Perf.comm_s;
+    line "projection" b.Perf.projection_s f.Perf.projection_s;
+    line "non-linear" b.Perf.nonlinear_s f.Perf.nonlinear_s;
+    line "attention" b.Perf.attention_s f.Perf.attention_s;
+    line "stall" b.Perf.stall_s f.Perf.stall_s;
+    if stages then begin
+      print_newline ();
+      let t = Table.create ~headers:[ "Pipeline stage (Figure 11)"; "Latency" ] in
+      List.iter
+        (fun (name, d) -> Table.add_row t [ name; Units.seconds d ])
+        (Perf.stage_times_s config ~context);
+      Table.print t
+    end
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Throughput/latency/breakdown at a context length")
+    Term.(const run $ context_arg $ stages_flag)
+
+(* --- tco ---------------------------------------------------------------- *)
+
+let tco_cmd =
+  let run () =
+    Table.print ~title:"3-Year TCO (Table 3)" (Experiments.table3 ());
+    print_newline ();
+    let lo, hi = Tco.tco_dynamic_ratio Tco.High in
+    Printf.printf "High-volume TCO advantage (annual updates): %.1fx - %.1fx\n" lo hi;
+    Printf.printf "High-volume carbon advantage: %.0fx\n" (Tco.carbon_ratio Tco.High)
+  in
+  Cmd.v (Cmd.info "tco" ~doc:"Total cost of ownership scenarios") Term.(const run $ const ())
+
+(* --- nre ---------------------------------------------------------------- *)
+
+let nre_cmd =
+  let params =
+    Arg.(
+      value & opt (some float) None
+      & info [ "params"; "p" ] ~docv:"N" ~doc:"Model parameter count (e.g. 120e9).")
+  in
+  let bits =
+    Arg.(
+      value & opt float 4.0
+      & info [ "bits"; "b" ] ~docv:"BITS" ~doc:"Native bits per parameter.")
+  in
+  let strawman =
+    Arg.(value & flag & info [ "strawman" ] ~doc:"Show the cell-embedding straw-man instead.")
+  in
+  let run params bits strawman =
+    if strawman then begin
+      let s = Strawman.estimate config in
+      Printf.printf "Straw-man (cell-embedding) hardwiring of %s:\n" config.Config.name;
+      Printf.printf "  CMAC area        %s mm2\n"
+        (Units.group_thousands (int_of_float s.Strawman.area_mm2));
+      Printf.printf "  chips            %d\n" s.Strawman.chips;
+      Printf.printf "  photomask bill   %s\n" (Units.dollars s.Strawman.mask_cost_usd)
+    end
+    else begin
+      match params with
+      | None -> Table.print ~title:"Table 4: NRE on various models" (Experiments.table4 ())
+      | Some p ->
+        let model =
+          {
+            config with
+            Config.name = "custom";
+            bits_per_param = bits;
+            total_params_override = Some p;
+          }
+        in
+        let r = Model_nre.row model in
+        Printf.printf "%s params at %.1f b/param: %.1f chips, mask NRE %s\n"
+          (Units.si p) bits r.Model_nre.chips (Units.dollars r.Model_nre.nre_usd)
+    end
+  in
+  Cmd.v
+    (Cmd.info "nre" ~doc:"Sea-of-Neurons mask NRE for a model footprint")
+    Term.(const run $ params $ bits $ strawman)
+
+(* --- simulate -------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let n = Arg.(value & opt int 200 & info [ "requests"; "n" ] ~doc:"Number of requests.") in
+  let rate =
+    Arg.(value & opt float 1000.0 & info [ "rate" ] ~doc:"Arrival rate (requests/s).")
+  in
+  let prefill = Arg.(value & opt int 128 & info [ "prefill" ] ~doc:"Mean prompt tokens.") in
+  let decode = Arg.(value & opt int 128 & info [ "decode" ] ~doc:"Mean decode tokens.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let run n rate prefill decode seed context =
+    let rng = Rng.create seed in
+    let reqs =
+      Scheduler.workload rng ~n ~rate_per_s:rate ~mean_prefill:prefill ~mean_decode:decode
+    in
+    let r = Scheduler.simulate ~context config reqs in
+    Printf.printf "Continuous batching on %d slots (%d requests):\n"
+      (Perf.pipeline_slots config) n;
+    Printf.printf "  makespan          %s\n" (Units.seconds r.Scheduler.makespan_s);
+    Printf.printf "  tokens processed  %s (%s decode)\n"
+      (Units.group_thousands r.Scheduler.tokens_processed)
+      (Units.group_thousands r.Scheduler.decode_tokens_out);
+    Printf.printf "  throughput        %s tokens/s (bound %s)\n"
+      (Units.group_thousands (int_of_float r.Scheduler.throughput_tokens_per_s))
+      (Units.group_thousands (int_of_float (Scheduler.saturated_throughput ~context config)));
+    Printf.printf "  slot occupancy    %s\n" (Units.percent r.Scheduler.mean_slot_occupancy);
+    let ttft =
+      Array.of_list
+        (List.map
+           (fun c -> c.Scheduler.first_token_s -. c.Scheduler.request.Scheduler.arrival_s)
+           r.Scheduler.completed_requests)
+    in
+    if Array.length ttft > 0 then begin
+      Printf.printf "  TTFT p50 / p95    %s / %s\n"
+        (Units.seconds (Stats.percentile ttft 0.5))
+        (Units.seconds (Stats.percentile ttft 0.95))
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Continuous-batching workload simulation")
+    Term.(const run $ n $ rate $ prefill $ decode $ seed $ context_arg)
+
+(* --- generate ------------------------------------------------------------- *)
+
+let generate_cmd =
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Weight/sampling seed.") in
+  let tokens = Arg.(value & opt int 24 & info [ "tokens"; "t" ] ~doc:"Tokens to generate.") in
+  let temp = Arg.(value & opt float 1.0 & info [ "temperature" ] ~doc:"Sampling temperature.") in
+  let run seed tokens temp =
+    let rng = Rng.create seed in
+    let w = Weights.random (Rng.split rng) Config.tiny in
+    let t = Transformer.create w in
+    let out =
+      Transformer.generate rng t ~prompt:[ 1; 2; 3 ] ~max_new_tokens:tokens
+        (Sampler.Temperature temp)
+    in
+    Printf.printf "tiny-moe (%d params), prompt [1;2;3] ->\n"
+      (Weights.count_params w);
+    List.iter (Printf.printf "%d ") out;
+    print_newline ();
+    let load = Transformer.expert_load t in
+    Printf.printf "expert load: ";
+    Array.iter (Printf.printf "%d ") load;
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Token generation with the tiny reference model")
+    Term.(const run $ seed $ tokens $ temp)
+
+(* --- neuron ------------------------------------------------------------------ *)
+
+let neuron_cmd =
+  let seed = Arg.(value & opt int 20260706 & info [ "seed" ] ~doc:"Weight seed.") in
+  let run seed =
+    let reports = Experiments.neuron_reports ~seed () in
+    Table.print ~title:"Operator benchmark: 1x1024 . 1024x128 FP4"
+      (Neuron_report.to_table Tech.n5 reports)
+  in
+  Cmd.v
+    (Cmd.info "neuron" ~doc:"Run MA/CE/ME machines on the operator benchmark")
+    Term.(const run $ seed)
+
+(* --- ablate ------------------------------------------------------------------ *)
+
+let ablate_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"STUDY"
+          ~doc:"interconnect | programmability | precision | slack | chunk | window | all")
+  in
+  let run which =
+    let interconnect () =
+      let t =
+        Table.create
+          ~headers:[ "Interconnect"; "GB/s"; "PHY (ns)"; "Tokens/s"; "Comm share" ]
+      in
+      List.iter
+        (fun r ->
+          Table.add_row t
+            [
+              r.Ablation.link_name;
+              Printf.sprintf "%.0f" r.Ablation.bandwidth_gbps;
+              Printf.sprintf "%.0f" r.Ablation.latency_ns;
+              Units.group_thousands (int_of_float r.Ablation.throughput_tokens_per_s);
+              Units.percent r.Ablation.comm_fraction;
+            ])
+        (Ablation.interconnect_sweep config);
+      Table.print ~title:"Interconnect ablation (§7.4/§8)" t
+    in
+    let programmability () =
+      let t =
+        Table.create
+          ~headers:
+            [ "Variant"; "T/weight"; "Chips"; "Silicon (mm2)"; "Mask NRE";
+              "Re-spin"; "Rel. throughput" ]
+      in
+      List.iter
+        (fun r ->
+          Table.add_row t
+            [
+              r.Ablation.variant;
+              Printf.sprintf "%.1f" r.Ablation.tr_per_weight;
+              string_of_int r.Ablation.chips;
+              Units.group_thousands (int_of_float r.Ablation.silicon_mm2);
+              Units.dollars r.Ablation.mask_nre_usd;
+              Units.dollars r.Ablation.respin_usd;
+              Printf.sprintf "%.2fx" r.Ablation.relative_throughput;
+            ])
+        (Ablation.programmability config);
+      Table.print ~title:"Field- vs metal-programmable (§8)" t
+    in
+    let precision () =
+      let t =
+        Table.create
+          ~headers:[ "Act bits"; "Serial planes"; "Projection us/layer"; "Tokens/s" ]
+      in
+      List.iter
+        (fun r ->
+          Table.add_row t
+            [
+              string_of_int r.Ablation.act_bits;
+              string_of_int r.Ablation.serial_planes;
+              Printf.sprintf "%.2f" r.Ablation.projection_us_per_layer;
+              Units.group_thousands (int_of_float r.Ablation.throughput_tokens_per_s);
+            ])
+        (Ablation.precision_sweep config);
+      Table.print ~title:"Activation-precision ablation" t
+    in
+    let slack () =
+      let t = Table.create ~headers:[ "Slack"; "Routing failure rate"; "Area ratio" ] in
+      List.iter
+        (fun r ->
+          Table.add_row t
+            [
+              Printf.sprintf "%.2f" r.Ablation.slack;
+              Units.percent r.Ablation.failure_rate;
+              Printf.sprintf "%.2fx" r.Ablation.area_ratio;
+            ])
+        (Ablation.slack_sweep (Rng.create 7) ());
+      Table.print ~title:"POPCNT region slack (Monte-Carlo, random FP4 rows)" t
+    in
+    let window () =
+      let t =
+        Table.create
+          ~headers:[ "Context"; "Full attn tok/s"; "Sliding-window tok/s"; "Speedup" ]
+      in
+      List.iter
+        (fun r ->
+          Table.add_row t
+            [
+              Printf.sprintf "%dK" (r.Ablation.window_context / 1024);
+              Units.group_thousands (int_of_float r.Ablation.full_tokens_per_s);
+              Units.group_thousands (int_of_float r.Ablation.windowed_tokens_per_s);
+              Printf.sprintf "%.2fx" r.Ablation.speedup;
+            ])
+        (Ablation.sliding_window_sweep ());
+      Table.print ~title:"Alternating 128-token sliding window (real gpt-oss)" t
+    in
+    let chunk () =
+      let t = Table.create ~headers:[ "Prefill chunk"; "Tokens/s" ] in
+      List.iter
+        (fun (c, tp) ->
+          Table.add_row t [ string_of_int c; Units.group_thousands (int_of_float tp) ])
+        (Ablation.chunk_sweep config);
+      Table.print ~title:"Prefill chunking (§5.2)" t
+    in
+    match String.lowercase_ascii which with
+    | "interconnect" -> interconnect ()
+    | "programmability" -> programmability ()
+    | "precision" -> precision ()
+    | "slack" -> slack ()
+    | "chunk" -> chunk ()
+    | "window" -> window ()
+    | "all" ->
+      interconnect ();
+      print_newline ();
+      programmability ();
+      print_newline ();
+      precision ();
+      print_newline ();
+      slack ();
+      print_newline ();
+      chunk ();
+      print_newline ();
+      window ()
+    | other ->
+      Printf.eprintf "unknown study %S\n" other;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Ablation studies for the §8 design choices")
+    Term.(const run $ which)
+
+(* --- deploy ------------------------------------------------------------------- *)
+
+let deploy_cmd =
+  let updates =
+    Arg.(value & opt float 1.0 & info [ "updates-per-year" ] ~doc:"Weight updates per year.")
+  in
+  let run updates =
+    let plan = { Deployment.annual_plan with Deployment.updates_per_year = updates } in
+    let bg = Deployment.blue_green plan in
+    Printf.printf "Blue-green deployment over %.0f years, %.1f updates/year:\n"
+      plan.Deployment.years updates;
+    let lo, hi = bg.Deployment.respin_bill in
+    Printf.printf "  re-spins            %d (%s ~ %s)\n" bg.Deployment.total_updates
+      (Units.dollars lo) (Units.dollars hi);
+    Printf.printf "  transition weeks    %.0f (fleet briefly 2x)\n"
+      bg.Deployment.weeks_in_transition;
+    Printf.printf "  downtime            %.0f weeks\n" bg.Deployment.downtime_weeks;
+    print_newline ();
+    let t =
+      Table.create
+        ~headers:[ "Fleet"; "TCO (3y, dyn)"; "$ / Mtoken"; "H100 $ / Mtoken" ]
+    in
+    List.iter
+      (fun p ->
+        let lo, hi = p.Deployment.usd_per_mtoken in
+        let tlo, thi = p.Deployment.tco_usd in
+        Table.add_row t
+          [
+            string_of_int p.Deployment.systems;
+            Printf.sprintf "%s ~ %s" (Units.dollars tlo) (Units.dollars thi);
+            Printf.sprintf "%.2f ~ %.2f" lo hi;
+            Printf.sprintf "%.2f" p.Deployment.h100_usd_per_mtoken;
+          ])
+      (Deployment.volume_sweep [ 1; 2; 5; 10; 50; 200 ]);
+    Table.print ~title:"Cost per million tokens vs fleet size (60% utilization)" t;
+    (match Deployment.crossover_systems () with
+    | Some n -> Printf.printf "\nPessimistic HNLPU beats the H100 cluster from %d system(s).\n" n
+    | None -> print_endline "\nNo crossover within 1000 systems.")
+  in
+  Cmd.v
+    (Cmd.info "deploy" ~doc:"Blue-green updates and volume amortization (§8)")
+    Term.(const run $ updates)
+
+(* --- signoff -------------------------------------------------------------------- *)
+
+let signoff_cmd =
+  let run () =
+    print_endline "Layout characteristics (paper §7.1)";
+    print_endline "===================================";
+    let th = Thermal.analyze () in
+    Printf.printf "Thermal: avg %.3f W/mm2, peak %.2f W/mm2 (DLC limit %.1f), \
+                   junction %.1fC -> %s\n"
+      th.Thermal.average_w_per_mm2 th.Thermal.peak_w_per_mm2 Thermal.dlc_limit_w_per_mm2
+      th.Thermal.junction_temp_c
+      (if th.Thermal.within_limits then "PASS" else "FAIL");
+    let r = Routing.analyze config in
+    Printf.printf "ME routing (M8-M11): %.1f%% density (<70%% required) -> %s\n"
+      (r.Routing.utilization *. 100.0)
+      (if r.Routing.congestion_free then "PASS" else "FAIL");
+    Printf.printf "Parasitics: avg R = %.0f ohm, C = %.2f fF, wire delay %.2f ps\n"
+      r.Routing.avg_resistance_ohm r.Routing.avg_capacitance_ff r.Routing.wire_delay_ps;
+    Printf.printf "Yield: %.1f%% (Murphy, D0=%.2f/cm2), %d good dies/wafer, $%.0f/die\n"
+      (100.0 *. Yield.murphy ~defect_density_per_cm2:0.11 ~die_area_mm2:827.08)
+      0.11
+      (Yield.good_dies_per_wafer Tech.n5 ~die_area_mm2:827.08)
+      (Yield.cost_per_good_die Tech.n5 ~die_area_mm2:827.08);
+    print_newline ();
+    print_endline "Pipeline trace validation (6 x 36 stages)";
+    let t = Trace.run ~tokens:1000 config in
+    Printf.printf "  simulated latency %.1f us (model %.1f us)\n"
+      (t.Trace.measured_latency_s *. 1e6) (t.Trace.predicted_latency_s *. 1e6);
+    Printf.printf "  simulated throughput %s tokens/s (model %s)\n"
+      (Units.group_thousands (int_of_float t.Trace.measured_throughput_tokens_per_s))
+      (Units.group_thousands (int_of_float t.Trace.predicted_throughput_tokens_per_s));
+    let b = Trace.busiest_stage t in
+    Printf.printf "  bottleneck stage %s (%.2f us service, %.0f%% utilized)\n"
+      b.Trace.stage_label (b.Trace.service_s *. 1e6) (b.Trace.utilization *. 100.0);
+    print_newline ();
+    let tr = Traffic.analyze config in
+    Printf.printf
+      "Fabric traffic: %.1f MB/token, %.2f TB/s of %.2f TB/s capacity (%.0f%%);\n      \  implied M/M/1 queueing factor %.2f vs calibrated %.2f -> %s\n"
+      (tr.Traffic.bytes_per_token /. 1e6)
+      (tr.Traffic.demand_bytes_per_s /. 1e12)
+      (tr.Traffic.fabric_capacity_bytes_per_s /. 1e12)
+      (100.0 *. tr.Traffic.mean_link_utilization)
+      tr.Traffic.queueing_factor_mm1 Perf.link_contention_factor
+      (if tr.Traffic.corroborates_calibration then "CONSISTENT" else "INCONSISTENT");
+    print_newline ();
+    Table.print
+      ~title:
+        (Printf.sprintf "Calibrated constants (%d knobs, see EXPERIMENTS.md)"
+           (Calibration.count ()))
+      (Calibration.to_table ())
+  in
+  Cmd.v
+    (Cmd.info "signoff" ~doc:"Layout characteristics and pipeline validation (§7.1)")
+    Term.(const run $ const ())
+
+(* --- carbon --------------------------------------------------------------------- *)
+
+let carbon_cmd =
+  let run () =
+    let s = Carbon.hnlpu_split Tco.High in
+    Printf.printf "HNLPU (high volume, annual updates): %.0f t CO2e over 3 years\n"
+      s.Carbon.total_t;
+    Printf.printf "  embodied %.0f t + re-spins %.0f t + operational %.0f t (%.0f%%)\n"
+      s.Carbon.embodied_t s.Carbon.respin_embodied_t s.Carbon.operational_t
+      (100.0 *. Carbon.operational_fraction s);
+    Printf.printf "  %.1f g CO2e per million tokens served\n\n"
+      (Carbon.g_per_million_tokens ());
+    let t = Table.create ~headers:[ "Grid kg/kWh"; "HNLPU t"; "H100 t"; "Advantage" ] in
+    List.iter
+      (fun (g, hn, gpu) ->
+        Table.add_row t
+          [
+            Printf.sprintf "%.2f" g;
+            Printf.sprintf "%.0f" hn;
+            Printf.sprintf "%.0f" gpu;
+            Printf.sprintf "%.0fx" (gpu /. hn);
+          ])
+      (Carbon.grid_sweep [ 0.0; 0.1; 0.2; 0.38; 0.7 ]);
+    Table.print ~title:"Carbon advantage vs grid intensity" t;
+    print_newline ();
+    Table.print ~title:"Per-token energy decomposition (Table 2's 36 tokens/J)"
+      (Energy.to_table (Energy.analyze ()));
+    print_newline ();
+    Table.print ~title:"TCO tornado: single-factor stress (0.5x .. 2x)"
+      (Sensitivity.to_table (Sensitivity.tornado ()))
+  in
+  Cmd.v
+    (Cmd.info "carbon" ~doc:"Carbon-footprint deep dive (Appendix B note 8)")
+    Term.(const run $ const ())
+
+(* --- export ---------------------------------------------------------------------- *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "results" & info [ "dir"; "o" ] ~doc:"Output directory.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of CSV.") in
+  let run dir json =
+    let paths =
+      if json then Experiments.export_json ~dir else Experiments.export_csv ~dir
+    in
+    List.iter print_endline paths;
+    Printf.printf "%d artifacts exported.\n" (List.length paths)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write every table/figure as CSV or JSON")
+    Term.(const run $ dir $ json)
+
+(* --- slo ----------------------------------------------------------------------- *)
+
+let slo_cmd =
+  let ttft =
+    Arg.(value & opt float 0.2 & info [ "ttft" ] ~doc:"TTFT p95 objective (s).")
+  in
+  let e2e =
+    Arg.(value & opt float 30.0 & info [ "e2e" ] ~doc:"End-to-end p95 objective (s).")
+  in
+  let prefill = Arg.(value & opt int 256 & info [ "prefill" ] ~doc:"Mean prompt tokens.") in
+  let decode = Arg.(value & opt int 128 & info [ "decode" ] ~doc:"Mean decode tokens.") in
+  let run ttft e2e prefill decode =
+    let obj = { Slo.ttft_p95_s = ttft; e2e_p95_s = e2e } in
+    let rate = Slo.max_rate ~mean_prefill:prefill ~mean_decode:decode config obj in
+    Printf.printf
+      "Max sustainable rate under TTFT p95 <= %gs, E2E p95 <= %gs (~%d+%d tokens): \
+       %.0f requests/s\n"
+      ttft e2e prefill decode rate;
+    let e =
+      Slo.evaluate ~mean_prefill:prefill ~mean_decode:decode config obj ~rate_per_s:rate
+    in
+    Printf.printf "At that rate: %s tokens/s, TTFT p95 %s, E2E p95 %s, occupancy %s\n"
+      (Units.group_thousands (int_of_float e.Slo.throughput_tokens_per_s))
+      (Units.seconds e.Slo.ttft_p95) (Units.seconds e.Slo.e2e_p95)
+      (Units.percent e.Slo.occupancy)
+  in
+  Cmd.v
+    (Cmd.info "slo" ~doc:"Capacity under latency objectives (bisection)")
+    Term.(const run $ ttft $ e2e $ prefill $ decode)
+
+(* --- fleet --------------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"HNLPU systems.") in
+  let n = Arg.(value & opt int 800 & info [ "requests"; "n" ] ~doc:"Requests.") in
+  let run nodes n =
+    let reqs =
+      Scheduler.workload (Rng.create 7) ~n ~rate_per_s:1.0e9 ~mean_prefill:150
+        ~mean_decode:4
+    in
+    let r = Multi_node.simulate ~nodes config reqs in
+    Printf.printf "%d nodes, %d requests (%s tokens): %s tokens/s aggregate\n"
+      nodes n
+      (Units.group_thousands r.Multi_node.total_tokens)
+      (Units.group_thousands (int_of_float r.Multi_node.aggregate_throughput_tokens_per_s));
+    Printf.printf "imbalance %.2fx; scaling efficiency %.2f\n" r.Multi_node.imbalance
+      (Multi_node.scaling_efficiency ~nodes config reqs);
+    List.iter
+      (fun s ->
+        Printf.printf "  node %d: %d requests, %s tokens, occupancy %s\n"
+          s.Multi_node.node s.Multi_node.requests
+          (Units.group_thousands s.Multi_node.tokens)
+          (Units.percent s.Multi_node.occupancy))
+      r.Multi_node.per_node
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Multi-node deployment simulation")
+    Term.(const run $ nodes $ n)
+
+(* --- equivalence ----------------------------------------------------------------- *)
+
+let equivalence_cmd =
+  let run () =
+    Table.print
+      ~title:"How many H100s does one HNLPU replace? (by GPU batching regime)"
+      (Scaling.to_table (Scaling.sweep ()));
+    let p = Scaling.paper_equivalence in
+    Printf.printf
+      "\nPaper's TCO normalization (1K/1K concurrency 50): %.0f GPUs, %s of \
+       hardware, %.0fx the power.\n"
+      p.Scaling.gpus_needed
+      (Units.dollars p.Scaling.cluster_price_usd)
+      p.Scaling.power_ratio
+  in
+  Cmd.v
+    (Cmd.info "equivalence" ~doc:"GPU-cluster equivalence sweep (§2.1, App. B)")
+    Term.(const run $ const ())
+
+(* --- compile ---------------------------------------------------------------------- *)
+
+let compile_cmd =
+  let inf = Arg.(value & opt int 256 & info [ "in" ] ~doc:"Input features.") in
+  let outf = Arg.(value & opt int 32 & info [ "out" ] ~doc:"Output neurons.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Weight seed.") in
+  let show_tcl = Arg.(value & flag & info [ "tcl" ] ~doc:"Print the routing script.") in
+  let run inf outf seed show_tcl =
+    let g = Gemv.random (Rng.create seed) ~in_features:inf ~out_features:outf ~act_bits:8 in
+    let n = Hn_compiler.compile g in
+    print_string (Hn_compiler.report n);
+    Printf.printf "LVS: %s; DRC: %d violations\n"
+      (if Hn_compiler.lvs n g then "clean" else "MISMATCH")
+      (List.length (Hn_compiler.drc n));
+    if show_tcl then print_string (Hn_compiler.to_tcl n)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Run the Hardwired-Neuron compiler on a random bank")
+    Term.(const run $ inf $ outf $ seed $ show_tcl)
+
+(* --- speculate ------------------------------------------------------------------- *)
+
+let speculate_cmd =
+  let lookahead = Arg.(value & opt int 4 & info [ "lookahead"; "k" ] ~doc:"Draft length.") in
+  let acceptance =
+    Arg.(value & opt float 0.7 & info [ "acceptance"; "a" ] ~doc:"Assumed acceptance rate.")
+  in
+  let run lookahead acceptance =
+    (* Functional demonstration on the tiny models. *)
+    let target = Transformer.create (Weights.random (Rng.create 1) Config.tiny) in
+    let draft = Transformer.create (Weights.random (Rng.create 2) Config.tiny_dense) in
+    let out, stats =
+      Speculative.generate ~target ~draft ~prompt:[ 1; 2; 3 ] ~max_new_tokens:24
+        ~lookahead ()
+    in
+    Printf.printf "tiny demo: %d tokens in %d target passes (%.2f tokens/pass, draft acceptance %s)\n"
+      (List.length out) stats.Speculative.target_passes stats.Speculative.tokens_per_pass
+      (Units.percent stats.Speculative.acceptance_rate);
+    print_newline ();
+    let t =
+      Table.create ~headers:[ "Lookahead"; "E[tokens/pass]"; "Tokens/s"; "Speedup" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            string_of_int r.Ablation.lookahead;
+            Printf.sprintf "%.2f" r.Ablation.expected_tokens_per_pass;
+            Units.group_thousands (int_of_float r.Ablation.spec_tokens_per_s);
+            Printf.sprintf "%.2fx" r.Ablation.spec_speedup;
+          ])
+      (Ablation.speculative_sweep ~acceptance config);
+    Table.print
+      ~title:
+        (Printf.sprintf "Speculative decode on HNLPU (acceptance %.0f%%)"
+           (acceptance *. 100.0))
+      t
+  in
+  Cmd.v
+    (Cmd.info "speculate" ~doc:"Speculative decoding: demo + throughput projection")
+    Term.(const run $ lookahead $ acceptance)
+
+let main =
+  Cmd.group
+    (Cmd.info "hnlpu" ~version:"1.0.0"
+       ~doc:"Hardwired-Neuron LPU (ASPLOS '26) reproduction toolkit")
+    [
+      tables_cmd; perf_cmd; tco_cmd; nre_cmd; simulate_cmd; generate_cmd;
+      neuron_cmd; ablate_cmd; deploy_cmd; signoff_cmd; carbon_cmd; export_cmd;
+      slo_cmd; fleet_cmd; equivalence_cmd; compile_cmd; speculate_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

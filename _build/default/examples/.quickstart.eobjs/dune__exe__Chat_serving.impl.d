@@ -1,0 +1,1 @@
+examples/chat_serving.ml: Array Config Hnlpu List Perf Printf Rng Scheduler Stats Table Units

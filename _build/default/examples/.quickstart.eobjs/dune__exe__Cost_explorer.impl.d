@@ -1,0 +1,1 @@
+examples/cost_explorer.ml: Config Hnlpu List Model_nre Printf Table Tco Units

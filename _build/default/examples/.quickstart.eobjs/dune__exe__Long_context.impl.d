@@ -1,0 +1,1 @@
+examples/long_context.ml: Attention_buffer Config Experiments Hnlpu List Perf Printf Scheduler Units

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cell_embedding Gemv Hnlpu Mac_array Metal_embedding Neuron_report Printf Rng Table Tech

@@ -1,0 +1,1 @@
+examples/tiny_llm.ml: Array Buffer Config Dataflow Hn_linear Hnlpu List Mat Neuron_report Printf Rng String Transformer Vec Weights

@@ -1,0 +1,1 @@
+examples/tiny_llm.mli:

@@ -1,0 +1,1 @@
+examples/weight_update.ml: Array Deployment Float Fp4 Gemv Hn_compiler Hn_linear Hnlpu Lora Mat Printf Rng String Units Vec

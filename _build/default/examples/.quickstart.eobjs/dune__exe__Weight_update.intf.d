@@ -1,0 +1,1 @@
+examples/weight_update.mli:

@@ -1,0 +1,93 @@
+(* Cost explorer: what-if analysis over the paper's economic models.
+
+   Sweeps (1) model size -> chips & mask NRE (Table 4's model), (2) weight
+   update cadence -> 3-year TCO vs the H100 cluster, and (3) the mask-set
+   price anchor -> break-even volume.  Everything derives from the same
+   Pricing/Mask_cost models the tests pin to the paper's numbers.
+
+   Run with: dune exec examples/cost_explorer.exe *)
+
+open Hnlpu
+
+let m = 1.0e6
+
+let sweep_model_size () =
+  let t = Table.create ~headers:[ "Params"; "FP4 GB"; "Chips"; "Mask NRE" ] in
+  List.iter
+    (fun params ->
+      let model =
+        {
+          Config.gpt_oss_120b with
+          Config.name = "sweep";
+          bits_per_param = 4.0;
+          total_params_override = Some params;
+        }
+      in
+      let r = Model_nre.row model in
+      Table.add_row t
+        [
+          Units.si ~digits:0 params;
+          Printf.sprintf "%.0f" (r.Model_nre.weight_bytes /. 1e9);
+          Printf.sprintf "%.1f" r.Model_nre.chips;
+          Units.dollars r.Model_nre.nre_usd;
+        ])
+    [ 8e9; 32e9; 120e9; 400e9; 671e9; 1e12; 2e12 ];
+  Table.print ~title:"Mask NRE vs model size (FP4, Sea-of-Neurons)" t
+
+let sweep_update_cadence () =
+  let h100 = (Tco.h100_column Tco.High).Tco.tco_static.Tco.lo in
+  let hnlpu = Tco.hnlpu_column Tco.High in
+  let t =
+    Table.create ~headers:[ "Re-spins / 3y"; "HNLPU TCO"; "Advantage vs H100" ]
+  in
+  List.iter
+    (fun respins ->
+      let tco_lo =
+        hnlpu.Tco.tco_static.Tco.lo +. (float_of_int respins *. hnlpu.Tco.respin.Tco.lo)
+      in
+      let tco_hi =
+        hnlpu.Tco.tco_static.Tco.hi +. (float_of_int respins *. hnlpu.Tco.respin.Tco.hi)
+      in
+      Table.add_row t
+        [
+          string_of_int respins;
+          Printf.sprintf "%.0fM ~ %.0fM" (tco_lo /. m) (tco_hi /. m);
+          Printf.sprintf "%.0fx ~ %.0fx" (h100 /. tco_hi) (h100 /. tco_lo);
+        ])
+    [ 0; 1; 2; 4; 8; 12 ];
+  Table.print
+    ~title:"High-volume TCO vs weight-update cadence (H100 cluster: $9,563M)" t
+
+let sweep_mask_anchor () =
+  (* How sensitive is the verdict to the $15M-30M mask-set price? *)
+  let t =
+    Table.create
+      ~headers:[ "Full set price"; "Homogeneous"; "ME/chip"; "16-chip initial" ]
+  in
+  List.iter
+    (fun set_price ->
+      let unit = set_price /. 130.0 in
+      let homog = 120.0 *. unit and me = 10.0 *. unit in
+      Table.add_row t
+        [
+          Units.dollars set_price;
+          Units.dollars homog;
+          Units.dollars me;
+          Units.dollars (homog +. (16.0 *. me));
+        ])
+    [ 10.0 *. m; 15.0 *. m; 22.5 *. m; 30.0 *. m; 45.0 *. m ];
+  Table.print ~title:"Sensitivity to the 5nm mask-set price anchor" t
+
+let () =
+  sweep_model_size ();
+  print_newline ();
+  sweep_update_cadence ();
+  print_newline ();
+  sweep_mask_anchor ();
+  print_newline ();
+  let lo, hi = Tco.tco_dynamic_ratio Tco.High in
+  Printf.printf
+    "Headline (paper §7.5): with annual updates at OpenAI scale, HNLPU's\n\
+     3-year TCO advantage is %.1fx - %.1fx, and even a dozen re-spins over\n\
+     three years leaves an order of magnitude on the table.\n"
+    lo hi

@@ -1,0 +1,80 @@
+(* The weight-update lifecycle (paper §3.2, §8 "Model Updates", future
+   work 4).
+
+   A hardwired model is updated in two ways:
+
+   1. {b Hotfix via the LoRA side channel}: ~1% field-programmable HNs
+      carry a low-rank delta immediately, with no silicon change.
+   2. {b Re-spin via the Sea-of-Neurons}: the Hardwired-Neuron compiler
+      regenerates the 10 metal-embedding reticles for the new checkpoint;
+      "green" chips are fabricated while "blue" chips keep serving.
+
+   This example walks one projection bank through both: compile the
+   original netlist, apply a LoRA hotfix, then re-spin and diff the two
+   netlists to see exactly how many wires moved — the information content
+   of the update.
+
+   Run with: dune exec examples/weight_update.exe *)
+
+open Hnlpu
+
+let () =
+  let rng = Rng.create 20260706 in
+
+  (* The deployed ("blue") weights, quantized, compiled to metal. *)
+  let w_blue = Mat.gaussian rng ~rows:128 ~cols:32 in
+  let hn_blue = Hn_linear.of_matrix w_blue in
+  let quantize_bank w =
+    (* Per-neuron scale onto the E2M1 range, as Hn_linear does. *)
+    Gemv.make
+      ~weights:
+        (Array.init (Mat.cols w) (fun o ->
+             let col = Mat.col w o in
+             let amax = Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 col in
+             let s = if amax = 0.0 then 1.0 else 6.0 /. amax in
+             Array.map (fun v -> Fp4.of_float (v *. s)) col))
+      ~act_bits:8
+  in
+  let g_blue = quantize_bank w_blue in
+  let netlist_blue = Hn_compiler.compile ~slack:4.0 g_blue in
+  Printf.printf "BLUE netlist: %s" (Hn_compiler.report netlist_blue);
+  assert (Hn_compiler.lvs netlist_blue g_blue);
+  assert (Hn_compiler.drc netlist_blue = []);
+  Printf.printf "LVS/DRC: clean\n\n";
+
+  (* 1. Hotfix: a rank-4 LoRA delta on the side channel, live. *)
+  let lora = Lora.create rng ~in_features:128 ~out_features:32 ~rank:4 in
+  (* "Train" the adapter: give B some content. *)
+  let lora =
+    Lora.of_matrices
+      ~a:lora.Lora.a
+      ~b:(Mat.gaussian ~std:0.05 rng ~rows:4 ~cols:32)
+      ()
+  in
+  let x = Vec.gaussian rng 128 in
+  let before = Hn_linear.apply hn_blue x in
+  let after = Lora.apply lora ~base:(Hn_linear.apply hn_blue) x in
+  Printf.printf "LoRA hotfix live: output moved by %.4f (rank %d, %.2f%% params)\n\n"
+    (Vec.max_abs_diff before after) (Lora.rank lora)
+    (100.0 *. Lora.parameter_overhead lora ~in_features:128 ~out_features:32);
+
+  (* 2. Re-spin: merge the delta, recompile the metal. *)
+  let w_green = Lora.merged lora w_blue in
+  let g_green = quantize_bank w_green in
+  let netlist_green = Hn_compiler.compile ~slack:4.0 g_green in
+  let d = Hn_compiler.diff netlist_blue netlist_green in
+  Printf.printf "GREEN re-spin: %d of %d wires re-routed (%.1f%% of the bank), on %s\n"
+    d.Hn_compiler.rerouted d.Hn_compiler.total_wires
+    (100.0 *. d.Hn_compiler.rerouted_fraction)
+    (String.concat "/" d.Hn_compiler.layers_touched);
+  Printf.printf "TCL script: %d bytes (this, times 16 chips, is the whole update)\n\n"
+    (String.length (Hn_compiler.to_tcl netlist_green));
+
+  (* The fleet-level picture. *)
+  let bg = Deployment.blue_green Deployment.annual_plan in
+  let lo, hi = bg.Deployment.respin_bill in
+  Printf.printf
+    "Blue-green over 3 years: %d re-spins, %s - %s of masks+silicon,\n\
+     %.0f weeks of green manufacturing, %.0f weeks of downtime.\n"
+    bg.Deployment.total_updates (Units.dollars lo) (Units.dollars hi)
+    bg.Deployment.weeks_in_transition bg.Deployment.downtime_weeks

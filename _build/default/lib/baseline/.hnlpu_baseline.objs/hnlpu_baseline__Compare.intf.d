@@ -1,0 +1,1 @@
+lib/baseline/compare.mli: Hnlpu_gates Hnlpu_util

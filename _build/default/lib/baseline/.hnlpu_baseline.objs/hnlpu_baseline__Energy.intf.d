@@ -1,0 +1,1 @@
+lib/baseline/energy.mli: Hnlpu_gates Hnlpu_util

@@ -1,0 +1,1 @@
+lib/baseline/h100.ml: Config Hnlpu_model Params

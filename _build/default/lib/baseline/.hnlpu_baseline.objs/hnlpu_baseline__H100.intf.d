@@ -1,0 +1,1 @@
+lib/baseline/h100.mli: Hnlpu_model

@@ -1,0 +1,1 @@
+lib/baseline/scaling.ml: H100 Hnlpu_chip Hnlpu_model Hnlpu_system Hnlpu_util List Printf Table Units

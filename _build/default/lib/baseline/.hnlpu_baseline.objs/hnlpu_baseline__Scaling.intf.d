@@ -1,0 +1,1 @@
+lib/baseline/scaling.mli: Hnlpu_util

@@ -1,0 +1,1 @@
+lib/baseline/wse3.ml:

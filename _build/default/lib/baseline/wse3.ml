@@ -1,0 +1,20 @@
+type t = {
+  silicon_mm2 : float;
+  system_power_w : float;
+  rack_units : int;
+  onchip_sram_bytes : float;
+}
+
+let spec =
+  {
+    silicon_mm2 = 46_225.0;
+    system_power_w = 23_000.0;
+    rack_units = 16;
+    onchip_sram_bytes = 44.0e9;
+  }
+
+let measured_tokens_per_s = 2940.0
+
+let tokens_per_kj = measured_tokens_per_s /. spec.system_power_w *. 1000.0
+
+let area_efficiency = measured_tokens_per_s /. spec.silicon_mm2

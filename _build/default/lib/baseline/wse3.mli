@@ -1,0 +1,23 @@
+(** Cerebras WSE-3 baseline (paper §6.3): throughput measured on the public
+    Cerebras cloud running gpt-oss 120B; power from published system
+    reports.  The wafer-scale engine keeps weights in on-wafer SRAM — fast,
+    but the weights are still *data*, re-fetched every step, which is the
+    gap HNLPU closes. *)
+
+type t = {
+  silicon_mm2 : float;       (** 46,225 mm² — the full wafer. *)
+  system_power_w : float;    (** 23 kW. *)
+  rack_units : int;          (** 16U. *)
+  onchip_sram_bytes : float; (** 44 GB of wafer SRAM. *)
+}
+
+val spec : t
+
+val measured_tokens_per_s : float
+(** 2,940 (Table 2). *)
+
+val tokens_per_kj : float
+(** 127.8 (Table 2). *)
+
+val area_efficiency : float
+(** tokens/(s·mm²) — 0.064 in Table 2. *)

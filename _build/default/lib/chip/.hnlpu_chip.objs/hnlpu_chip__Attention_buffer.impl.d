@@ -1,0 +1,1 @@
+lib/chip/attention_buffer.ml: Config Hnlpu_gates Hnlpu_model Hnlpu_noc Tech

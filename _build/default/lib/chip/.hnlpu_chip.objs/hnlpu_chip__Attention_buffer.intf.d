@@ -1,0 +1,1 @@
+lib/chip/attention_buffer.mli: Hnlpu_gates Hnlpu_model

@@ -1,0 +1,1 @@
+lib/chip/control_unit.ml: Hnlpu_model

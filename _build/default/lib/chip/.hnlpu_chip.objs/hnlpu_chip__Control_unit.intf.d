@@ -1,0 +1,1 @@
+lib/chip/control_unit.mli: Hnlpu_model

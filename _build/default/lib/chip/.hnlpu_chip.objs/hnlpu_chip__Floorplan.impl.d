@@ -1,0 +1,1 @@
+lib/chip/floorplan.ml: Attention_buffer Control_unit Hbm Hn_array Hnlpu_gates Hnlpu_model Hnlpu_noc Hnlpu_util Interconnect_engine List Printf Table Vex

@@ -1,0 +1,1 @@
+lib/chip/floorplan.mli: Hnlpu_gates Hnlpu_model Hnlpu_util

@@ -1,0 +1,1 @@
+lib/chip/hbm.ml: Float Hnlpu_model

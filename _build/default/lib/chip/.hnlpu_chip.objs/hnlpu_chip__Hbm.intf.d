@@ -1,0 +1,1 @@
+lib/chip/hbm.mli: Hnlpu_model

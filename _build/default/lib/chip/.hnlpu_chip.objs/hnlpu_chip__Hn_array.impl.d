@@ -1,0 +1,1 @@
+lib/chip/hn_array.ml: Census Config Hnlpu_gates Hnlpu_model Hnlpu_noc Params Tech

@@ -1,0 +1,1 @@
+lib/chip/hn_array.mli: Hnlpu_gates Hnlpu_model

@@ -1,0 +1,1 @@
+lib/chip/interconnect_engine.ml: Hnlpu_noc Link Topology

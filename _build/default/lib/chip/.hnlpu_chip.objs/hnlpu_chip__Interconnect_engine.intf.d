@@ -1,0 +1,1 @@
+lib/chip/interconnect_engine.mli: Hnlpu_noc

@@ -1,0 +1,1 @@
+lib/chip/package.ml: Hnlpu_gates

@@ -1,0 +1,1 @@
+lib/chip/package.mli:

@@ -1,0 +1,1 @@
+lib/chip/thermal.ml: Float Floorplan List

@@ -1,0 +1,1 @@
+lib/chip/thermal.mli: Hnlpu_gates Hnlpu_model

@@ -1,0 +1,1 @@
+lib/chip/vex.ml: Config Hnlpu_model Hnlpu_noc

@@ -1,0 +1,1 @@
+lib/chip/vex.mli: Hnlpu_model

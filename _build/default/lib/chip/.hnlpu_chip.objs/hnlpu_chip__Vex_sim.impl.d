@@ -1,0 +1,1 @@
+lib/chip/vex_sim.ml: Array Float

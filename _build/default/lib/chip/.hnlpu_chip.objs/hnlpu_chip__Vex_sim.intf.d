@@ -1,0 +1,1 @@
+lib/chip/vex_sim.mli: Hnlpu_tensor

@@ -1,0 +1,7 @@
+let area_mm2 = 0.02
+
+let power_w = 0.005
+
+let stages_per_layer = 6
+
+let pipeline_slots (c : Hnlpu_model.Config.t) = stages_per_layer * c.Hnlpu_model.Config.num_layers

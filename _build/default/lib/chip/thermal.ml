@@ -1,0 +1,56 @@
+type block_density = { thermal_block : string; density_w_per_mm2 : float }
+
+type t = {
+  densities : block_density list;
+  average_w_per_mm2 : float;
+  peak_w_per_mm2 : float;
+  junction_rise_k : float;
+  junction_temp_c : float;
+  within_limits : bool;
+}
+
+let dlc_limit_w_per_mm2 = 2.0
+
+let max_junction_c = 105.0
+
+let coolant_c = 35.0
+
+let thermal_resistance_k_per_w = 0.08
+
+let analyze ?tech ?config () =
+  let fp = Floorplan.table1 ?tech ?config () in
+  let densities =
+    List.filter_map
+      (fun (b : Floorplan.block) ->
+        if b.Floorplan.area_mm2 < 0.1 then None (* control unit: too small to matter *)
+        else
+          Some
+            {
+              thermal_block = b.Floorplan.block_name;
+              density_w_per_mm2 = b.Floorplan.power_w /. b.Floorplan.area_mm2;
+            })
+      fp.Floorplan.blocks
+  in
+  let average = fp.Floorplan.total_power_w /. fp.Floorplan.total_area_mm2 in
+  let peak =
+    List.fold_left (fun acc d -> Float.max acc d.density_w_per_mm2) 0.0 densities
+  in
+  let rise = fp.Floorplan.total_power_w *. thermal_resistance_k_per_w in
+  let junction = coolant_c +. rise in
+  {
+    densities;
+    average_w_per_mm2 = average;
+    peak_w_per_mm2 = peak;
+    junction_rise_k = rise;
+    junction_temp_c = junction;
+    within_limits = peak < dlc_limit_w_per_mm2 && junction < max_junction_c;
+  }
+
+let hotspot t =
+  match t.densities with
+  | [] -> invalid_arg "Thermal.hotspot: empty"
+  | first :: rest ->
+    List.fold_left
+      (fun best d ->
+        if d.density_w_per_mm2 > best.density_w_per_mm2 then d else best)
+      first rest

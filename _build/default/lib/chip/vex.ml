@@ -1,0 +1,33 @@
+open Hnlpu_model
+
+let kv_lanes = 32
+
+let attention_efficiency = 0.48
+
+let attention_cycles (c : Config.t) ~context =
+  if context < 0 then invalid_arg "Vex.attention_cycles: negative context";
+  let heads_per_col = c.Config.kv_heads / Hnlpu_noc.Topology.cols in
+  let positions_per_chip = (context + 3) / Hnlpu_noc.Topology.rows in
+  let head_positions = 2 (* QK and ZV passes *) * heads_per_col * positions_per_chip in
+  int_of_float
+    (ceil (float_of_int head_positions /. (float_of_int kv_lanes *. attention_efficiency)))
+
+let elements_per_cycle = 32
+
+let nonlinear_cycles (c : Config.t) =
+  (* RMSNorm x2 (two passes each: square-sum then scale), router softmax,
+     SwiGLU over the expert intermediate, residual adds x2. *)
+  let h = c.Config.hidden in
+  let rms = 2 * (2 * h / elements_per_cycle) in
+  let router = if c.Config.experts = 0 then 0 else 2 * c.Config.experts / elements_per_cycle in
+  let swiglu = 2 * c.Config.expert_hidden / elements_per_cycle in
+  let residual = 2 * h / elements_per_cycle in
+  rms + router + swiglu + residual
+
+let sampling_cycles (c : Config.t) =
+  (* Each chip scans its vocab/16 logits shard, then a small reduction. *)
+  (c.Config.vocab / Hnlpu_noc.Topology.chips / elements_per_cycle) + 64
+
+let area_mm2 = 27.87
+
+let power_w = 33.09

@@ -1,0 +1,1 @@
+lib/core/hnlpu.ml: Calibration Experiments Hnlpu_baseline Hnlpu_chip Hnlpu_fp4 Hnlpu_gates Hnlpu_litho Hnlpu_model Hnlpu_neuron Hnlpu_noc Hnlpu_system Hnlpu_tco Hnlpu_tensor Hnlpu_util

@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Hnlpu_chip Hnlpu_gates Hnlpu_system Hnlpu_tco Hnlpu_util List

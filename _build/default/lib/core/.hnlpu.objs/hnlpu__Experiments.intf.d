@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Hnlpu_neuron Hnlpu_util

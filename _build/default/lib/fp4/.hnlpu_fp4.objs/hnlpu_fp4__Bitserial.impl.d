@@ -1,0 +1,1 @@
+lib/fp4/bitserial.ml: Array Bytes Char Printf

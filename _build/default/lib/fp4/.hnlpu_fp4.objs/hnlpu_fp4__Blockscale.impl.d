@@ -1,0 +1,1 @@
+lib/fp4/blockscale.ml: Array Float Fp4

@@ -1,0 +1,1 @@
+lib/fp4/csa.ml: Array Bytes Char

@@ -1,0 +1,1 @@
+lib/fp4/csa.mli: Bytes

@@ -1,0 +1,1 @@
+lib/fp4/fp4.ml: Array Float Format Int List

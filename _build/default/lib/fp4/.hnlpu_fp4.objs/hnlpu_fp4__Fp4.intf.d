@@ -1,0 +1,1 @@
+lib/fp4/fp4.mli: Format

@@ -1,0 +1,65 @@
+type plane = Bytes.t
+
+let min_int_for bits = -(1 lsl (bits - 1))
+
+let max_int_for bits = (1 lsl (bits - 1)) - 1
+
+let check_range ~bits v =
+  if bits < 2 || bits > 32 then invalid_arg "Bitserial: bits must be in 2..32";
+  let lo = min_int_for bits and hi = max_int_for bits in
+  Array.iteri
+    (fun i x ->
+      if x < lo || x > hi then
+        invalid_arg
+          (Printf.sprintf "Bitserial: element %d (=%d) out of %d-bit range" i x
+             bits))
+    v
+
+let planes ~bits v =
+  check_range ~bits v;
+  let n = Array.length v in
+  Array.init bits (fun b ->
+      let p = Bytes.create n in
+      for i = 0 to n - 1 do
+        (* Two's complement: [land] on the masked representation. *)
+        let repr = v.(i) land ((1 lsl bits) - 1) in
+        Bytes.unsafe_set p i (if (repr lsr b) land 1 = 1 then '\001' else '\000')
+      done;
+      p)
+
+let plane_get p i = Char.code (Bytes.get p i)
+
+let plane_weight ~bits b =
+  if b < 0 || b >= bits then invalid_arg "Bitserial.plane_weight";
+  if b = bits - 1 then -(1 lsl b) else 1 lsl b
+
+let reconstruct ~bits ps =
+  if Array.length ps <> bits then invalid_arg "Bitserial.reconstruct: arity";
+  let n = Bytes.length ps.(0) in
+  Array.init n (fun i ->
+      let acc = ref 0 in
+      for b = 0 to bits - 1 do
+        if plane_get ps.(b) i = 1 then acc := !acc + plane_weight ~bits b
+      done;
+      !acc)
+
+let popcount_plane p =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length p - 1 do
+    acc := !acc + Char.code (Bytes.unsafe_get p i)
+  done;
+  !acc
+
+let dot_by_planes ~bits ~weights v =
+  if Array.length weights <> Array.length v then
+    invalid_arg "Bitserial.dot_by_planes: length mismatch";
+  let ps = planes ~bits v in
+  let total = ref 0 in
+  for b = 0 to bits - 1 do
+    let per_plane = ref 0 in
+    for i = 0 to Array.length v - 1 do
+      if plane_get ps.(b) i = 1 then per_plane := !per_plane + weights.(i)
+    done;
+    total := !total + (!per_plane * plane_weight ~bits b)
+  done;
+  !total

@@ -1,0 +1,43 @@
+(** LSB-first bit-serialization of activation vectors (paper §3.1, Step 2).
+
+    Hardwired-Neurons accept activations one bit-plane per clock cycle,
+    least-significant bit first, so that the per-weight accumulation reduces
+    to a POPCNT of single wires.  Activations are signed two's-complement
+    integers of a fixed width; the final (sign) plane carries negative
+    weight [-2^(bits-1)].
+
+    This module is bit-exact: [reconstruct (planes v) = v]. *)
+
+type plane = Bytes.t
+(** One bit-plane over an n-element vector, packed one byte per element
+    (0 or 1) — byte packing keeps the simulator simple and fast enough. *)
+
+val min_int_for : int -> int
+val max_int_for : int -> int
+(** Representable range for a given two's-complement width. *)
+
+val check_range : bits:int -> int array -> unit
+(** Raise [Invalid_argument] if any element does not fit in [bits]. *)
+
+val planes : bits:int -> int array -> plane array
+(** [planes ~bits v] is the [bits] bit-planes of [v], index 0 = LSB. *)
+
+val plane_get : plane -> int -> int
+(** Bit of element [i] in a plane: 0 or 1. *)
+
+val plane_weight : bits:int -> int -> int
+(** Arithmetic weight of plane [b]: [2^b], except [-2^(bits-1)] for the sign
+    plane [b = bits-1]. *)
+
+val reconstruct : bits:int -> plane array -> int array
+(** Inverse of [planes]. *)
+
+val popcount_plane : plane -> int
+(** Number of set bits in a plane — what one POPCNT region computes in one
+    cycle when every input wire is routed to it. *)
+
+val dot_by_planes : bits:int -> weights:int array -> int array -> int
+(** [dot_by_planes ~bits ~weights v]: evaluate [Σ weights.(i) * v.(i)] the
+    bit-serial way — per plane, sum the weights of the set elements, then
+    combine planes with their arithmetic weights.  Ground truth for the HN
+    machine tests. *)

@@ -1,0 +1,56 @@
+type t = { scale_exp : int; elements : Fp4.t array }
+
+let block_size = 32
+
+let max_magnitude = 6.0 (* largest E2M1 value *)
+
+let quantize_block xs =
+  let n = Array.length xs in
+  if n = 0 || n > block_size then
+    invalid_arg "Blockscale.quantize_block: block must have 1..32 elements";
+  let amax = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs in
+  let scale_exp =
+    if amax = 0.0 then 0
+    else
+      (* Largest power of two such that amax/2^e <= 6. *)
+      let e = int_of_float (Float.ceil (log (amax /. max_magnitude) /. log 2.0)) in
+      (* Guard against rounding of the log. *)
+      let rec fix e =
+        if amax /. (2.0 ** float_of_int e) > max_magnitude then fix (e + 1)
+        else if e > -126 && amax /. (2.0 ** float_of_int (e - 1)) <= max_magnitude
+        then fix (e - 1)
+        else e
+      in
+      fix e
+  in
+  let s = 2.0 ** float_of_int scale_exp in
+  { scale_exp; elements = Array.map (fun x -> Fp4.of_float (x /. s)) xs }
+
+let dequantize_block { scale_exp; elements } =
+  let s = 2.0 ** float_of_int scale_exp in
+  Array.map (fun e -> s *. Fp4.to_float e) elements
+
+let quantize xs =
+  let n = Array.length xs in
+  let nblocks = (n + block_size - 1) / block_size in
+  Array.init nblocks (fun b ->
+      let lo = b * block_size in
+      let len = min block_size (n - lo) in
+      quantize_block (Array.sub xs lo len))
+
+let dequantize blocks =
+  Array.concat (Array.to_list (Array.map dequantize_block blocks))
+
+let quantization_error xs =
+  if Array.length xs = 0 then 0.0
+  else begin
+    let ys = dequantize (quantize xs) in
+    let num = ref 0.0 and den = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let d = ys.(i) -. x in
+        num := !num +. (d *. d);
+        den := !den +. (x *. x))
+      xs;
+    if !den = 0.0 then 0.0 else sqrt (!num /. !den)
+  end

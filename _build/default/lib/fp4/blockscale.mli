@@ -1,0 +1,31 @@
+(** Microscaling (MX) block quantization.
+
+    gpt-oss 120B's FP4 weights use MXFP4: each block of 32 consecutive
+    elements shares one power-of-two scale (E8M0).  Within a hardwired
+    neuron the scale is folded into the final multiplier stage, so the HN
+    POPCNT fabric only ever sees the 16 element codes; this module provides
+    the quantize/dequantize path used to prepare synthetic weights and to
+    check end-to-end numerics. *)
+
+type t = { scale_exp : int; elements : Fp4.t array }
+(** One quantized block: decoded value of element [i] is
+    [2. ** scale_exp *. Fp4.to_float elements.(i)]. *)
+
+val block_size : int
+(** MX block size, 32. *)
+
+val quantize_block : float array -> t
+(** Quantize up to [block_size] floats: picks the E8M0 scale so the largest
+    magnitude maps near the top of the E2M1 range, then rounds each element.
+    Raises [Invalid_argument] on an empty or oversized block. *)
+
+val dequantize_block : t -> float array
+
+val quantize : float array -> t array
+(** Quantize a whole vector block-by-block (last block may be short). *)
+
+val dequantize : t array -> float array
+
+val quantization_error : float array -> float
+(** RMS relative error of a quantize/dequantize round-trip; used by tests to
+    bound the information loss on Gaussian data. *)

@@ -1,0 +1,34 @@
+(** Carry-save adder (CSA) trees (paper §3.1, Figure 3 right).
+
+    Bit-serialized HN accumulation unfolds into a Wallace-style tree of 3:2
+    compressors.  This module reduces a multiset of non-negative integers
+    exactly, while counting the hardware the reduction would take: full
+    adders, half adders, tree depth (compression rounds) and the width of
+    the final carry-propagate adder.  The counts feed the area/energy census
+    in {!Hnlpu_gates}; the arithmetic result feeds bit-exactness tests. *)
+
+type stats = {
+  full_adders : int;    (** 3:2 compressors consumed. *)
+  half_adders : int;    (** 2:2 compressors consumed. *)
+  depth : int;          (** Compression rounds until every column has <= 2 bits. *)
+  cpa_width : int;      (** Width of the final carry-propagate adder. *)
+}
+
+val empty_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Component-wise sum except [depth] and [cpa_width], which take the max —
+    the composition law for independent units operating in parallel. *)
+
+val reduce : width:int -> int array -> int * stats
+(** [reduce ~width xs] sums the integers [xs], each of which must lie in
+    [\[0, 2^width)], through bit-level 3:2 compression.  Returns the exact
+    sum and the structural statistics.  An empty input sums to 0. *)
+
+val popcount : Bytes.t -> int * stats
+(** Population count of a 0/1 byte-plane as a CSA tree of 1-bit inputs —
+    exactly the POPCNT regions of a Hardwired-Neuron. *)
+
+val adder_depth : int -> int
+(** [adder_depth n]: number of 3:2 compression rounds needed to reduce [n]
+    operands to 2 (the classical Wallace bound, ceil of log_{3/2}). *)

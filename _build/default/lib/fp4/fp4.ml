@@ -1,0 +1,63 @@
+type t = int
+
+(* Decoded magnitudes indexed by the 3-bit exponent+mantissa field.
+   E2M1: exp=00 is subnormal (0, 0.5); otherwise value = 2^(exp-1)*(1+m/2). *)
+let magnitudes = [| 0.0; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 6.0 |]
+
+let of_code c =
+  if c < 0 || c > 15 then invalid_arg "Fp4.of_code: code out of range";
+  c
+
+let code t = t
+
+let zero = 0
+
+let is_negative t = t land 8 <> 0
+
+let magnitude_code t = t land 7
+
+let to_float t =
+  let m = magnitudes.(magnitude_code t) in
+  if is_negative t then -.m else m
+
+let neg t = t lxor 8
+
+let of_float x =
+  if Float.is_nan x then invalid_arg "Fp4.of_float: nan";
+  let sign = x < 0.0 in
+  let m = Float.abs x in
+  (* Nearest magnitude; ties go to the even code (smaller mantissa bit). *)
+  let best = ref 0 and best_err = ref infinity in
+  for i = 0 to 7 do
+    let err = Float.abs (m -. magnitudes.(i)) in
+    if
+      err < !best_err
+      || (err = !best_err && i land 1 = 0 && !best land 1 = 1)
+    then begin
+      best := i;
+      best_err := err
+    end
+  done;
+  if !best = 0 then zero else if sign then !best lor 8 else !best
+
+let all = List.init 16 (fun i -> i)
+
+let unique_magnitudes = Array.copy magnitudes
+
+let equal = Int.equal
+
+let pp fmt t = Format.fprintf fmt "%g" (to_float t)
+
+let to_half_units t =
+  let m = int_of_float (2.0 *. magnitudes.(magnitude_code t)) in
+  if is_negative t then -m else m
+
+let of_half_units h =
+  let sign = h < 0 in
+  let m = float_of_int (abs h) /. 2.0 in
+  let rec find i =
+    if i > 7 then None
+    else if magnitudes.(i) = m then Some (if sign && i <> 0 then i lor 8 else i)
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,1 @@
+lib/gates/census.ml: Fp4 Hnlpu_fp4 List

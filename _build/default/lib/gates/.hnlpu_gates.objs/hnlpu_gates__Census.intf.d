@@ -1,0 +1,1 @@
+lib/gates/census.mli: Hnlpu_fp4

@@ -1,0 +1,1 @@
+lib/gates/yield.ml: Float Hnlpu_util Tech

@@ -1,0 +1,1 @@
+lib/gates/yield.mli: Hnlpu_util Tech

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  transistor_density_per_mm2 : float;
+  logic_utilization : float;
+  sram_bitcell_um2 : float;
+  sram_array_efficiency : float;
+  clock_ghz : float;
+  gate_energy_fj : float;
+  flop_energy_fj : float;
+  leakage_w_per_transistor : float;
+  sram_read_fj_per_bit : float;
+  sram_write_fj_per_bit : float;
+  sram_leak_w_per_mb : float;
+  hbm_pj_per_bit : float;
+  wire_fj_per_bit_mm : float;
+  wafer_cost_usd : float;
+  wafer_diameter_mm : float;
+  defect_density_per_cm2 : float;
+  reticle_limit_mm2 : float;
+}
+
+let n5 =
+  {
+    name = "N5";
+    transistor_density_per_mm2 = 138.0e6;
+    logic_utilization = 0.65;
+    sram_bitcell_um2 = 0.021;
+    sram_array_efficiency = 0.35;
+    clock_ghz = 1.0;
+    gate_energy_fj = 0.5;
+    flop_energy_fj = 1.2;
+    leakage_w_per_transistor = 20.0e-12;
+    sram_read_fj_per_bit = 15.0;
+    sram_write_fj_per_bit = 18.0;
+    sram_leak_w_per_mb = 0.012;
+    hbm_pj_per_bit = 3.5;
+    wire_fj_per_bit_mm = 0.06;
+    wafer_cost_usd = 16_988.0;
+    wafer_diameter_mm = 300.0;
+    defect_density_per_cm2 = 0.11;
+    reticle_limit_mm2 = 830.0;
+  }
+
+let area_of_transistors tech n =
+  n /. tech.transistor_density_per_mm2 /. tech.logic_utilization
+
+let transistors_of_area tech a =
+  a *. tech.transistor_density_per_mm2 *. tech.logic_utilization
+
+let cycle_time_s tech = 1.0e-9 /. tech.clock_ghz

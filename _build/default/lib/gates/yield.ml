@@ -1,0 +1,65 @@
+let murphy ~defect_density_per_cm2 ~die_area_mm2 =
+  if die_area_mm2 <= 0.0 then invalid_arg "Yield.murphy: non-positive area";
+  let ad = die_area_mm2 /. 100.0 *. defect_density_per_cm2 in
+  if ad = 0.0 then 1.0
+  else
+    let f = (1.0 -. exp (-.ad)) /. ad in
+    f *. f
+
+let gross_dies_per_wafer ~wafer_diameter_mm ~die_area_mm2 =
+  if die_area_mm2 <= 0.0 then invalid_arg "Yield.gross_dies: non-positive area";
+  let r = wafer_diameter_mm /. 2.0 in
+  let n =
+    (Float.pi *. r *. r /. die_area_mm2)
+    -. (Float.pi *. wafer_diameter_mm /. sqrt (2.0 *. die_area_mm2))
+  in
+  max 0 (int_of_float (floor n))
+
+let good_dies_per_wafer (tech : Tech.t) ~die_area_mm2 =
+  let gross =
+    gross_dies_per_wafer ~wafer_diameter_mm:tech.wafer_diameter_mm ~die_area_mm2
+  in
+  let y =
+    murphy ~defect_density_per_cm2:tech.defect_density_per_cm2 ~die_area_mm2
+  in
+  int_of_float (Float.round (float_of_int gross *. y))
+
+let cost_per_good_die (tech : Tech.t) ~die_area_mm2 =
+  let good = good_dies_per_wafer tech ~die_area_mm2 in
+  if good = 0 then infinity else tech.wafer_cost_usd /. float_of_int good
+
+let wafers_for tech ~die_area_mm2 ~dies =
+  let good = good_dies_per_wafer tech ~die_area_mm2 in
+  if good = 0 then invalid_arg "Yield.wafers_for: zero yield"
+  else (dies + good - 1) / good
+
+let wafers_at_yield (tech : Tech.t) ~die_area_mm2 ~yield_rate ~dies =
+  if yield_rate <= 0.0 || yield_rate > 1.0 then
+    invalid_arg "Yield.wafers_at_yield: yield in (0,1]";
+  let gross =
+    gross_dies_per_wafer ~wafer_diameter_mm:tech.Tech.wafer_diameter_mm ~die_area_mm2
+  in
+  let good_per_wafer = float_of_int gross *. yield_rate in
+  if good_per_wafer <= 0.0 then invalid_arg "Yield.wafers_at_yield: zero gross"
+  else int_of_float (ceil (float_of_int dies /. good_per_wafer))
+
+let wafer_bill_at_yield (tech : Tech.t) ~die_area_mm2 ~yield_rate ~dies =
+  float_of_int (wafers_at_yield tech ~die_area_mm2 ~yield_rate ~dies)
+  *. tech.Tech.wafer_cost_usd
+
+let triangular rng ~mode_half_width =
+  (* Symmetric triangular on [0, 2w] with mode w: sum of two uniforms. *)
+  Hnlpu_util.Rng.float rng mode_half_width +. Hnlpu_util.Rng.float rng mode_half_width
+
+let monte_carlo rng ~defect_density_per_cm2 ~die_area_mm2 ~trials =
+  if trials <= 0 then invalid_arg "Yield.monte_carlo: trials must be positive";
+  let area_cm2 = die_area_mm2 /. 100.0 in
+  let good = ref 0 in
+  for _ = 1 to trials do
+    let d = triangular rng ~mode_half_width:defect_density_per_cm2 in
+    let lambda = d *. area_cm2 in
+    (* Die is good iff a Poisson(lambda) draw is zero: probability
+       exp(-lambda); sample directly. *)
+    if Hnlpu_util.Rng.float rng 1.0 < exp (-.lambda) then incr good
+  done;
+  float_of_int !good /. float_of_int trials

@@ -1,0 +1,1 @@
+lib/litho/hn_compiler.ml: Array Buffer Gemv Hashtbl Hnlpu_fp4 Hnlpu_neuron List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/litho/hn_compiler.mli: Hnlpu_fp4 Hnlpu_neuron

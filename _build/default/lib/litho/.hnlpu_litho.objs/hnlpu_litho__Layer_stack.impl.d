@@ -1,0 +1,1 @@
+lib/litho/layer_stack.ml: List

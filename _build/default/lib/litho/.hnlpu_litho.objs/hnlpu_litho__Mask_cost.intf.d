@@ -1,0 +1,1 @@
+lib/litho/mask_cost.mli:

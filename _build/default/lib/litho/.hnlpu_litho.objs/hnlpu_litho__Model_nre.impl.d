@@ -1,0 +1,1 @@
+lib/litho/model_nre.ml: Config Hnlpu_model List Mask_cost Params

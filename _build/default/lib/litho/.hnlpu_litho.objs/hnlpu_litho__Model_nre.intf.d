@@ -1,0 +1,1 @@
+lib/litho/model_nre.mli: Hnlpu_model Mask_cost

@@ -1,0 +1,1 @@
+lib/litho/routing.ml: Config Hnlpu_chip Hnlpu_model List

@@ -1,0 +1,1 @@
+lib/litho/routing.mli: Hnlpu_gates Hnlpu_model

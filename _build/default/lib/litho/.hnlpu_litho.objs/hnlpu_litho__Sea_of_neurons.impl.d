@@ -1,0 +1,1 @@
+lib/litho/sea_of_neurons.ml: Config Hnlpu_model List Model_nre

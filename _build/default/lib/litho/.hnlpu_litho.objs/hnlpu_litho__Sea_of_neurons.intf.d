@@ -1,0 +1,1 @@
+lib/litho/sea_of_neurons.mli: Hnlpu_model

@@ -1,0 +1,1 @@
+lib/litho/strawman.ml: Hnlpu_gates Hnlpu_model Mask_cost Params Tech

@@ -1,0 +1,1 @@
+lib/litho/strawman.mli: Hnlpu_gates Hnlpu_model Mask_cost

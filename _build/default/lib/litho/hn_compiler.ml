@@ -1,0 +1,236 @@
+open Hnlpu_neuron
+
+type wire = {
+  neuron : int;
+  input : int;
+  region : int;
+  port : int;
+  layer : string;
+  track : int;
+}
+
+type netlist = {
+  in_features : int;
+  out_features : int;
+  region_capacity : int;
+  wires : wire list;
+}
+
+let layers = [| "M8"; "M9"; "M10"; "M11" |]
+
+let compile ?(slack = 2.0) (g : Gemv.t) =
+  let regions = 16 in
+  let n = g.Gemv.in_features in
+  let balanced = (n + regions - 1) / regions in
+  let capacity = int_of_float (ceil (float_of_int balanced *. slack)) in
+  (* One track counter per routing layer; wires round-robin across the four
+     embedding layers, so each gets a fresh track — congestion-free by
+     construction, which DRC then confirms. *)
+  let track_next = Array.make (Array.length layers) 0 in
+  let wires = ref [] in
+  Array.iteri
+    (fun neuron row ->
+      let port_next = Array.make regions 0 in
+      Array.iteri
+        (fun input w ->
+          let region = Hnlpu_fp4.Fp4.code w in
+          let port = port_next.(region) in
+          if port >= capacity then
+            invalid_arg
+              (Printf.sprintf
+                 "Hn_compiler.compile: neuron %d region %d overflows capacity %d"
+                 neuron region capacity);
+          port_next.(region) <- port + 1;
+          let li = (neuron + input) mod Array.length layers in
+          let track = track_next.(li) in
+          track_next.(li) <- track + 1;
+          wires := { neuron; input; region; port; layer = layers.(li); track } :: !wires)
+        row)
+    g.Gemv.weights;
+  {
+    in_features = n;
+    out_features = g.Gemv.out_features;
+    region_capacity = capacity;
+    wires = List.rev !wires;
+  }
+
+let wire_count t = List.length t.wires
+
+type diff_stats = {
+  total_wires : int;
+  rerouted : int;
+  rerouted_fraction : float;
+  layers_touched : string list;
+}
+
+let diff a b =
+  if a.in_features <> b.in_features || a.out_features <> b.out_features then
+    invalid_arg "Hn_compiler.diff: shape mismatch";
+  if List.length a.wires <> List.length b.wires then
+    invalid_arg "Hn_compiler.diff: wire count mismatch";
+  let touched = Hashtbl.create 4 in
+  let rerouted =
+    List.fold_left2
+      (fun acc wa wb ->
+        if wa.neuron <> wb.neuron || wa.input <> wb.input then
+          invalid_arg "Hn_compiler.diff: wire order mismatch";
+        if wa.region <> wb.region then begin
+          Hashtbl.replace touched wb.layer ();
+          acc + 1
+        end
+        else acc)
+      0 a.wires b.wires
+  in
+  let total = List.length a.wires in
+  {
+    total_wires = total;
+    rerouted;
+    rerouted_fraction = float_of_int rerouted /. float_of_int (max 1 total);
+    layers_touched =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) touched []);
+  }
+
+let to_tcl t =
+  let buf = Buffer.create (64 * wire_count t) in
+  Buffer.add_string buf
+    (Printf.sprintf "# hn-netlist in=%d out=%d cap=%d\n" t.in_features
+       t.out_features t.region_capacity);
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "route -neuron %d -input %d -region %d -port %d -layer %s -track %d\n"
+           w.neuron w.input w.region w.port w.layer w.track))
+    t.wires;
+  Buffer.contents buf
+
+let of_tcl s =
+  let lines = String.split_on_char '\n' s in
+  let header, rest =
+    match lines with
+    | h :: rest -> (h, rest)
+    | [] -> failwith "Hn_compiler.of_tcl: empty script"
+  in
+  let in_features, out_features, region_capacity =
+    try Scanf.sscanf header "# hn-netlist in=%d out=%d cap=%d" (fun a b c -> (a, b, c))
+    with Scanf.Scan_failure _ | End_of_file ->
+      failwith "Hn_compiler.of_tcl: bad header"
+  in
+  let wires =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          try
+            Some
+              (Scanf.sscanf line
+                 "route -neuron %d -input %d -region %d -port %d -layer %s -track %d"
+                 (fun neuron input region port layer track ->
+                   { neuron; input; region; port; layer; track }))
+          with Scanf.Scan_failure _ | End_of_file ->
+            failwith ("Hn_compiler.of_tcl: bad line: " ^ line))
+      rest
+  in
+  { in_features; out_features; region_capacity; wires }
+
+let extract_weights t =
+  let m =
+    Array.init t.out_features (fun _ -> Array.make t.in_features Hnlpu_fp4.Fp4.zero)
+  in
+  let seen = Array.make_matrix t.out_features t.in_features false in
+  List.iter
+    (fun w ->
+      if w.neuron < 0 || w.neuron >= t.out_features || w.input < 0
+         || w.input >= t.in_features
+      then failwith "Hn_compiler.extract_weights: wire out of bank";
+      if seen.(w.neuron).(w.input) then
+        failwith "Hn_compiler.extract_weights: duplicate wire";
+      seen.(w.neuron).(w.input) <- true;
+      m.(w.neuron).(w.input) <- Hnlpu_fp4.Fp4.of_code w.region)
+    t.wires;
+  Array.iteri
+    (fun o row ->
+      Array.iteri
+        (fun i covered ->
+          if not covered then
+            failwith
+              (Printf.sprintf "Hn_compiler.extract_weights: missing wire %d.%d" o i))
+        row;
+      ignore o)
+    seen;
+  m
+
+let lvs t (g : Gemv.t) =
+  t.in_features = g.Gemv.in_features
+  && t.out_features = g.Gemv.out_features
+  && wire_count t = Gemv.total_macs g
+  &&
+  try
+    let extracted = extract_weights t in
+    let ok = ref true in
+    Array.iteri
+      (fun o row ->
+        Array.iteri
+          (fun i w ->
+            if not (Hnlpu_fp4.Fp4.equal w extracted.(o).(i)) then ok := false)
+          row)
+      g.Gemv.weights;
+    !ok
+  with Failure _ -> false
+
+type drc_violation =
+  | Track_conflict of string * int
+  | Port_overflow of int * int
+  | Out_of_window of string
+
+let drc ?tracks_per_layer t =
+  let limit =
+    match tracks_per_layer with
+    | Some n -> n
+    | None -> (wire_count t / Array.length layers) + 2
+  in
+  let violations = ref [] in
+  let used = Hashtbl.create 1024 in
+  let ports = Hashtbl.create 1024 in
+  List.iter
+    (fun w ->
+      if not (Array.exists (( = ) w.layer) layers) then
+        violations := Out_of_window w.layer :: !violations;
+      if w.track >= limit then violations := Out_of_window w.layer :: !violations;
+      let key = (w.layer, w.track) in
+      if Hashtbl.mem used key then
+        violations := Track_conflict (w.layer, w.track) :: !violations
+      else Hashtbl.add used key ();
+      let pkey = (w.neuron, w.region) in
+      let count = (try Hashtbl.find ports pkey with Not_found -> 0) + 1 in
+      Hashtbl.replace ports pkey count;
+      if count > t.region_capacity then
+        violations := Port_overflow (w.neuron, w.region) :: !violations)
+    t.wires;
+  List.rev !violations
+
+let report t =
+  let per_layer = Hashtbl.create 8 in
+  let region_fill = Array.make 16 0 in
+  List.iter
+    (fun w ->
+      Hashtbl.replace per_layer w.layer
+        ((try Hashtbl.find per_layer w.layer with Not_found -> 0) + 1);
+      region_fill.(w.region) <- region_fill.(w.region) + 1)
+    t.wires;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "netlist: %d wires over %dx%d bank (region capacity %d)\n"
+       (wire_count t) t.in_features t.out_features t.region_capacity);
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %d wires\n" l
+           (try Hashtbl.find per_layer l with Not_found -> 0)))
+    layers;
+  Buffer.add_string buf "  region fill: ";
+  Array.iteri
+    (fun c n -> Buffer.add_string buf (Printf.sprintf "%d:%d " c n))
+    region_fill;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/model/checkpoint.ml: Array Buffer Bytes Char Config Fun Hnlpu_tensor Int64 List Mat Printf String Weights

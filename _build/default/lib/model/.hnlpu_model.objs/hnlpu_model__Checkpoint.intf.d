@@ -1,0 +1,1 @@
+lib/model/checkpoint.mli: Bytes Weights

@@ -1,0 +1,1 @@
+lib/model/generation.ml: Array Float Hnlpu_tensor List Transformer Vec

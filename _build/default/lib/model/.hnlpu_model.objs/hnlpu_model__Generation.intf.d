@@ -1,0 +1,1 @@
+lib/model/generation.mli: Transformer

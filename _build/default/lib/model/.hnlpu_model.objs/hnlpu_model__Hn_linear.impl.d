@@ -1,0 +1,1 @@
+lib/model/hn_linear.ml: Array Float Fp4 Gemv Hnlpu_fp4 Hnlpu_neuron Hnlpu_tensor Mat Metal_embedding

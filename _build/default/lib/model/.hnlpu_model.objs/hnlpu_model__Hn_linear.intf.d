@@ -1,0 +1,1 @@
+lib/model/hn_linear.mli: Hnlpu_neuron Hnlpu_tensor

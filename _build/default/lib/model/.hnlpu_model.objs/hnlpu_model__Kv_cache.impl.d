@@ -1,0 +1,1 @@
+lib/model/kv_cache.ml: Array Config Hnlpu_tensor List Vec

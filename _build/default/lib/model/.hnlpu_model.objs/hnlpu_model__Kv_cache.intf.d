@@ -1,0 +1,1 @@
+lib/model/kv_cache.mli: Config Hnlpu_tensor

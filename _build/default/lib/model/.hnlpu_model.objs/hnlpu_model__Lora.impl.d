@@ -1,0 +1,1 @@
+lib/model/lora.ml: Config Hnlpu_gates Hnlpu_tensor Mat Params Vec

@@ -1,0 +1,1 @@
+lib/model/lora.mli: Config Hnlpu_gates Hnlpu_tensor Hnlpu_util

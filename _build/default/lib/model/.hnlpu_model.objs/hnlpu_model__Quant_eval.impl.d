@@ -1,0 +1,1 @@
+lib/model/quant_eval.ml: Array Config Format Hnlpu_tensor Hnlpu_util List Transformer Vec Weights

@@ -1,0 +1,1 @@
+lib/model/quant_eval.mli: Config Format Hnlpu_util

@@ -1,0 +1,1 @@
+lib/model/rope.ml: Array

@@ -1,0 +1,1 @@
+lib/model/rope.mli: Hnlpu_tensor

@@ -1,0 +1,1 @@
+lib/model/sampler.ml: Array Hnlpu_tensor Hnlpu_util List Vec

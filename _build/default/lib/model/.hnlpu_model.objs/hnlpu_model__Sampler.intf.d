@@ -1,0 +1,1 @@
+lib/model/sampler.mli: Hnlpu_tensor Hnlpu_util

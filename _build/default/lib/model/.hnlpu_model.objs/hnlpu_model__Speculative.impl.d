@@ -1,0 +1,1 @@
+lib/model/speculative.ml: Config Hnlpu_tensor List Transformer Vec

@@ -1,0 +1,1 @@
+lib/model/tokenizer.ml: Buffer Char Config List Printf String

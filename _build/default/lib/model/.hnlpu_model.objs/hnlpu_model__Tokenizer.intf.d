@@ -1,0 +1,1 @@
+lib/model/tokenizer.mli: Config

@@ -1,0 +1,1 @@
+lib/model/transformer.ml: Array Config Float Hnlpu_tensor Kv_cache List Mat Rope Sampler Vec Weights

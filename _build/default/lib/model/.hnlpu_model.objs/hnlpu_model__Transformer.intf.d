@@ -1,0 +1,1 @@
+lib/model/transformer.mli: Config Hnlpu_tensor Hnlpu_util Sampler Weights

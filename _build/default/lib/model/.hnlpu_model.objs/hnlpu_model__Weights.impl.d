@@ -1,0 +1,1 @@
+lib/model/weights.ml: Array Config Hnlpu_fp4 Hnlpu_tensor Mat Option Vec

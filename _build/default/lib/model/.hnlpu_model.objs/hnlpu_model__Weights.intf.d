@@ -1,0 +1,1 @@
+lib/model/weights.mli: Config Hnlpu_tensor Hnlpu_util

@@ -1,0 +1,224 @@
+open Hnlpu_tensor
+
+let magic = "HNLPUCK1"
+
+(* --- Writer ----------------------------------------------------------------- *)
+
+let w_u32 buf n =
+  if n < 0 then failwith "Checkpoint: negative length";
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let w_f64 buf x =
+  let bits = Int64.bits_of_float x in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+  done
+
+let w_string buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let w_vec buf v =
+  w_u32 buf 1;
+  w_u32 buf (Array.length v);
+  Array.iter (w_f64 buf) v
+
+let w_mat buf m =
+  w_u32 buf (Mat.rows m);
+  w_u32 buf (Mat.cols m);
+  for r = 0 to Mat.rows m - 1 do
+    for c = 0 to Mat.cols m - 1 do
+      w_f64 buf (Mat.get m r c)
+    done
+  done
+
+let w_config buf (c : Config.t) =
+  w_string buf c.Config.name;
+  List.iter (w_u32 buf)
+    [
+      c.Config.num_layers; c.Config.hidden; c.Config.q_heads; c.Config.kv_heads;
+      c.Config.head_dim; c.Config.experts; c.Config.experts_per_token;
+      c.Config.expert_hidden; c.Config.vocab;
+      (match c.Config.sliding_window with None -> 0 | Some w -> w);
+    ];
+  w_f64 buf c.Config.bits_per_param
+
+let to_bytes (w : Weights.t) =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  w_config buf w.Weights.config;
+  w_mat buf w.Weights.embedding;
+  Array.iter
+    (fun (l : Weights.layer) ->
+      w_vec buf l.Weights.attn_norm;
+      w_mat buf l.Weights.wq;
+      w_mat buf l.Weights.wk;
+      w_mat buf l.Weights.wv;
+      w_mat buf l.Weights.wo;
+      w_vec buf l.Weights.ffn_norm;
+      (match l.Weights.w_router with
+      | None -> w_u32 buf 0
+      | Some r ->
+        w_u32 buf 1;
+        w_mat buf r);
+      w_u32 buf (Array.length l.Weights.experts);
+      Array.iter
+        (fun (e : Weights.expert) ->
+          w_mat buf e.Weights.w_up;
+          w_mat buf e.Weights.w_gate;
+          w_mat buf e.Weights.w_down)
+        l.Weights.experts)
+    w.Weights.layers;
+  w_vec buf w.Weights.final_norm;
+  w_mat buf w.Weights.unembedding;
+  Buffer.to_bytes buf
+
+(* --- Reader ----------------------------------------------------------------- *)
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+let need r n =
+  if r.pos + n > Bytes.length r.data then failwith "Checkpoint: truncated file"
+
+let r_u32 r =
+  need r 4;
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (Char.code (Bytes.get r.data (r.pos + i)) lsl (8 * i))
+  done;
+  r.pos <- r.pos + 4;
+  !v
+
+let r_f64 r =
+  need r 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits
+        (Int64.shift_left
+           (Int64.of_int (Char.code (Bytes.get r.data (r.pos + i))))
+           (8 * i))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !bits
+
+let r_string r =
+  let n = r_u32 r in
+  need r n;
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_mat_dims r ~rows ~cols what =
+  let rr = r_u32 r and cc = r_u32 r in
+  if rr <> rows || cc <> cols then
+    failwith (Printf.sprintf "Checkpoint: %s has %dx%d, expected %dx%d" what rr cc rows cols)
+
+let r_vec r ~len what =
+  r_mat_dims r ~rows:1 ~cols:len what;
+  Array.init len (fun _ -> r_f64 r)
+
+let r_mat r ~rows ~cols what =
+  r_mat_dims r ~rows ~cols what;
+  Mat.init ~rows ~cols (fun _ _ -> r_f64 r)
+
+let r_config r =
+  let name = r_string r in
+  let num_layers = r_u32 r in
+  let hidden = r_u32 r in
+  let q_heads = r_u32 r in
+  let kv_heads = r_u32 r in
+  let head_dim = r_u32 r in
+  let experts = r_u32 r in
+  let experts_per_token = r_u32 r in
+  let expert_hidden = r_u32 r in
+  let vocab = r_u32 r in
+  let sw = r_u32 r in
+  let bits_per_param = r_f64 r in
+  let c =
+    {
+      Config.name;
+      num_layers;
+      hidden;
+      q_heads;
+      kv_heads;
+      head_dim;
+      experts;
+      experts_per_token;
+      expert_hidden;
+      vocab;
+      sliding_window = (if sw = 0 then None else Some sw);
+      bits_per_param;
+      total_params_override = None;
+    }
+  in
+  (try Config.validate c
+   with Invalid_argument msg -> failwith ("Checkpoint: bad config: " ^ msg));
+  c
+
+let of_bytes data =
+  let r = { data; pos = 0 } in
+  need r (String.length magic);
+  let m = Bytes.sub_string data 0 (String.length magic) in
+  if m <> magic then failwith "Checkpoint: bad magic";
+  r.pos <- String.length magic;
+  let c = r_config r in
+  let embedding = r_mat r ~rows:c.Config.vocab ~cols:c.Config.hidden "embedding" in
+  let layers =
+    Array.init c.Config.num_layers (fun li ->
+        let l = Printf.sprintf "layer %d" li in
+        let attn_norm = r_vec r ~len:c.Config.hidden (l ^ " attn_norm") in
+        let wq = r_mat r ~rows:c.Config.hidden ~cols:(Config.q_dim c) (l ^ " wq") in
+        let wk = r_mat r ~rows:c.Config.hidden ~cols:(Config.kv_dim c) (l ^ " wk") in
+        let wv = r_mat r ~rows:c.Config.hidden ~cols:(Config.kv_dim c) (l ^ " wv") in
+        let wo = r_mat r ~rows:(Config.q_dim c) ~cols:c.Config.hidden (l ^ " wo") in
+        let ffn_norm = r_vec r ~len:c.Config.hidden (l ^ " ffn_norm") in
+        let w_router =
+          match r_u32 r with
+          | 0 -> None
+          | 1 -> Some (r_mat r ~rows:c.Config.hidden ~cols:c.Config.experts (l ^ " router"))
+          | _ -> failwith "Checkpoint: bad router flag"
+        in
+        let n_experts = r_u32 r in
+        if n_experts <> max 1 c.Config.experts then
+          failwith "Checkpoint: expert count mismatch";
+        let experts =
+          Array.init n_experts (fun _ ->
+              let w_up =
+                r_mat r ~rows:c.Config.hidden ~cols:c.Config.expert_hidden (l ^ " up")
+              in
+              let w_gate =
+                r_mat r ~rows:c.Config.hidden ~cols:c.Config.expert_hidden (l ^ " gate")
+              in
+              let w_down =
+                r_mat r ~rows:c.Config.expert_hidden ~cols:c.Config.hidden (l ^ " down")
+              in
+              { Weights.w_up; w_gate; w_down })
+        in
+        { Weights.attn_norm; wq; wk; wv; wo; ffn_norm; w_router; experts })
+  in
+  let final_norm = r_vec r ~len:c.Config.hidden "final_norm" in
+  let unembedding = r_mat r ~rows:c.Config.hidden ~cols:c.Config.vocab "unembedding" in
+  if r.pos <> Bytes.length data then failwith "Checkpoint: trailing bytes";
+  { Weights.config = c; embedding; layers; final_norm; unembedding }
+
+let save path w =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes w))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = Bytes.create n in
+      really_input ic data 0 n;
+      of_bytes data)
+
+let size_bytes w = Bytes.length (to_bytes w)

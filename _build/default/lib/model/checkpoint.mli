@@ -1,0 +1,28 @@
+(** Checkpoint serialization — save and load {!Weights} as a
+    self-describing binary file, so synthetic models can be shared,
+    re-spins can be diffed offline, and the Hardwired-Neuron compiler can
+    be driven from a file the way the paper's flow reads weight parameters
+    from the layout tools.
+
+    Format (little-endian): an 8-byte magic ["HNLPUCK1"], the config
+    (string + scalar fields), then every tensor in a fixed traversal
+    order as [rows : u32] [cols : u32] [float64 x rows*cols].  Loading
+    validates the magic, field ranges and exact length; a loaded model
+    reproduces the saved model's logits bit-for-bit (tested). *)
+
+val magic : string
+
+val save : string -> Weights.t -> unit
+(** Write to a path (truncates).  Raises [Sys_error] on IO failure. *)
+
+val load : string -> Weights.t
+(** Raises [Failure] with a description on any malformed input: wrong
+    magic, inconsistent dimensions, truncated data, trailing bytes. *)
+
+val to_bytes : Weights.t -> Bytes.t
+
+val of_bytes : Bytes.t -> Weights.t
+
+val size_bytes : Weights.t -> int
+(** Serialized size (float64 storage: ~8 bytes per parameter plus
+    framing). *)

@@ -1,0 +1,95 @@
+open Hnlpu_tensor
+
+type hypothesis = {
+  tokens : int list;
+  logprob : float;
+  normalized : float;
+  finished : bool;
+}
+
+type live = {
+  state : Transformer.t;
+  logits : Vec.t;          (** Next-token logits of this hypothesis. *)
+  gen : int list;          (** Reverse order. *)
+  lp : float;
+  done_ : bool;
+}
+
+let gnmt_penalty ~alpha len =
+  if alpha <= 0.0 then 1.0
+  else ((5.0 +. float_of_int len) ** alpha) /. (6.0 ** alpha)
+
+let normalize ~alpha lp len = lp /. gnmt_penalty ~alpha len
+
+let log_softmax v =
+  let p = Vec.softmax v in
+  Array.map (fun x -> log (Float.max x 1e-300)) p
+
+let beam_search t ~prompt ~beams ~max_new_tokens ?stop ?(length_penalty = 0.0) () =
+  if beams <= 0 then invalid_arg "Generation.beam_search: beams must be positive";
+  if max_new_tokens < 0 then invalid_arg "Generation.beam_search: negative budget";
+  Transformer.reset t;
+  let logits0 = Transformer.prefill t prompt in
+  let alpha = length_penalty in
+  let live0 = [ { state = t; logits = logits0; gen = []; lp = 0.0; done_ = false } ] in
+  let finished : live list ref = ref [] in
+  let step hyps =
+    (* Expand every live hypothesis by its top-[beams] tokens. *)
+    let candidates =
+      List.concat_map
+        (fun h ->
+          if h.done_ then []
+          else begin
+            let lls = log_softmax h.logits in
+            List.map
+              (fun (tok, _) -> (h, tok, h.lp +. lls.(tok)))
+              (Vec.top_k (min beams (Array.length lls)) h.logits)
+          end)
+        hyps
+    in
+    let best =
+      List.sort (fun (_, _, a) (_, _, b) -> compare b a) candidates
+      |> List.filteri (fun i _ -> i < beams)
+    in
+    (* Fork states; fork counts per parent let the last child reuse the
+       parent in place. *)
+    List.map
+      (fun (parent, tok, lp) ->
+        match stop with
+        | Some s when s = tok ->
+          { parent with gen = tok :: parent.gen; lp; done_ = true }
+        | _ ->
+          let state = Transformer.fork parent.state in
+          let logits = Transformer.forward state ~token:tok in
+          { state; logits; gen = tok :: parent.gen; lp; done_ = false })
+      best
+  in
+  let rec go n hyps =
+    let still_live = List.filter (fun h -> not h.done_) hyps in
+    finished := List.filter (fun h -> h.done_) hyps @ !finished;
+    if n >= max_new_tokens || still_live = [] then still_live
+    else go (n + 1) (step still_live)
+  in
+  let leftovers = go 0 live0 in
+  let all = leftovers @ !finished in
+  let to_hypothesis h =
+    let tokens = List.rev h.gen in
+    {
+      tokens;
+      logprob = h.lp;
+      normalized = normalize ~alpha h.lp (max 1 (List.length tokens));
+      finished = h.done_;
+    }
+  in
+  List.map to_hypothesis all
+  |> List.sort (fun a b -> compare b.normalized a.normalized)
+  |> List.filteri (fun i _ -> i < beams)
+
+let greedy t ~prompt ~max_new_tokens ?stop () =
+  match beam_search t ~prompt ~beams:1 ~max_new_tokens ?stop () with
+  | [ h ] ->
+    (* Drop the stop token to match Transformer.generate's convention. *)
+    (match stop with
+    | Some s -> List.filter (fun tok -> tok <> s) h.tokens
+    | None -> h.tokens)
+  | _ -> []

@@ -1,0 +1,28 @@
+(** Beam-search decoding — the "conditional decoding (programmable
+    sampling algorithms)" extension of §8, built on {!Transformer.fork}.
+
+    Hypotheses carry their own forked KV caches; each step expands every
+    live hypothesis by the [beams] most likely tokens, keeps the [beams]
+    best by accumulated log-probability, and retires hypotheses on the
+    stop token.  Scores are length-normalized by
+    [(5 + len)^alpha / 6^alpha] (the GNMT penalty) when
+    [length_penalty] > 0. *)
+
+type hypothesis = {
+  tokens : int list;       (** Generated tokens (prompt excluded). *)
+  logprob : float;         (** Sum of token log-probabilities. *)
+  normalized : float;      (** Penalized score used for ranking. *)
+  finished : bool;         (** Ended on the stop token. *)
+}
+
+val beam_search :
+  Transformer.t -> prompt:int list -> beams:int -> max_new_tokens:int ->
+  ?stop:int -> ?length_penalty:float -> unit -> hypothesis list
+(** Ranked best-first (length [<= beams]).  The transformer is reset
+    first.  [beams = 1] reproduces greedy decoding exactly;
+    [length_penalty] defaults to 0 (pure log-probability). *)
+
+val greedy : Transformer.t -> prompt:int list -> max_new_tokens:int ->
+  ?stop:int -> unit -> int list
+(** Deterministic argmax decoding (convenience; equals
+    [Transformer.generate] under [Sampler.Greedy]). *)

@@ -1,0 +1,78 @@
+open Hnlpu_tensor
+
+type layer_cache = {
+  mutable ks : Vec.t list;  (** Reverse order (most recent first). *)
+  mutable vs : Vec.t list;
+  mutable n : int;
+  mutable ks_arr : Vec.t array;  (** Memoized forward-order views. *)
+  mutable vs_arr : Vec.t array;
+  mutable arr_valid : bool;
+}
+
+type t = { config : Config.t; layers : layer_cache array }
+
+let create (c : Config.t) =
+  {
+    config = c;
+    layers =
+      Array.init c.num_layers (fun _ ->
+          { ks = []; vs = []; n = 0; ks_arr = [||]; vs_arr = [||]; arr_valid = false });
+  }
+
+let clear t =
+  Array.iter
+    (fun lc ->
+      lc.ks <- [];
+      lc.vs <- [];
+      lc.n <- 0;
+      lc.ks_arr <- [||];
+      lc.vs_arr <- [||];
+      lc.arr_valid <- false)
+    t.layers
+
+let copy t =
+  {
+    t with
+    layers =
+      Array.map
+        (fun lc ->
+          { ks = lc.ks; vs = lc.vs; n = lc.n; ks_arr = [||]; vs_arr = [||];
+            arr_valid = false })
+        t.layers;
+  }
+
+let length t ~layer = t.layers.(layer).n
+
+let append t ~layer ~k ~v =
+  let dim = Config.kv_dim t.config in
+  if Array.length k <> dim || Array.length v <> dim then
+    invalid_arg "Kv_cache.append: wrong projection width";
+  let lc = t.layers.(layer) in
+  lc.ks <- k :: lc.ks;
+  lc.vs <- v :: lc.vs;
+  lc.n <- lc.n + 1;
+  lc.arr_valid <- false
+
+let refresh lc =
+  if not lc.arr_valid then begin
+    lc.ks_arr <- Array.of_list (List.rev lc.ks);
+    lc.vs_arr <- Array.of_list (List.rev lc.vs);
+    lc.arr_valid <- true
+  end
+
+let slice t flat head =
+  let d = t.config.Config.head_dim in
+  Array.sub flat (head * d) d
+
+let key t ~layer ~head ~pos =
+  let lc = t.layers.(layer) in
+  refresh lc;
+  slice t lc.ks_arr.(pos) head
+
+let value t ~layer ~head ~pos =
+  let lc = t.layers.(layer) in
+  refresh lc;
+  slice t lc.vs_arr.(pos) head
+
+let bytes_per_position (c : Config.t) ~kv_bytes_per_element =
+  2 * c.num_layers * Config.kv_dim c * kv_bytes_per_element

@@ -1,0 +1,33 @@
+(** Per-layer key/value cache for autoregressive decoding.
+
+    Mirrors the HNLPU attention buffer's role (§4.3): stores one K and one V
+    vector per KV head per past position.  The chip-level capacity/offload
+    behaviour is modelled separately in {!Hnlpu_chip.Attention_buffer}; this
+    module is the functional cache of the reference implementation. *)
+
+type t
+
+val create : Config.t -> t
+
+val clear : t -> unit
+(** Drop all cached positions. *)
+
+val copy : t -> t
+(** Deep-enough copy: the two caches evolve independently afterwards (the
+    cached vectors themselves are immutable once appended). *)
+
+val length : t -> layer:int -> int
+(** Number of cached positions for a layer. *)
+
+val append : t -> layer:int -> k:Hnlpu_tensor.Vec.t -> v:Hnlpu_tensor.Vec.t -> unit
+(** [k] and [v] are the flat (kv_heads * head_dim) projections for the new
+    position. *)
+
+val key : t -> layer:int -> head:int -> pos:int -> Hnlpu_tensor.Vec.t
+(** Cached key of a KV head at a position (length [head_dim]). *)
+
+val value : t -> layer:int -> head:int -> pos:int -> Hnlpu_tensor.Vec.t
+
+val bytes_per_position : Config.t -> kv_bytes_per_element:int -> int
+(** Cache growth per decoded token across all layers — sizes the attention
+    buffer and the Figure 14 stall model. *)

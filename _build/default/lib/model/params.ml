@@ -1,0 +1,34 @@
+let attention_per_layer (c : Config.t) =
+  let q = c.hidden * Config.q_dim c in
+  let k = c.hidden * Config.kv_dim c in
+  let v = c.hidden * Config.kv_dim c in
+  let o = Config.q_dim c * c.hidden in
+  q + k + v + o
+
+let router_per_layer (c : Config.t) =
+  if c.experts = 0 then 0 else c.hidden * c.experts
+
+let moe_per_layer (c : Config.t) =
+  let per_expert = 3 * c.hidden * c.expert_hidden in
+  let experts = max 1 c.experts in
+  router_per_layer c + (experts * per_expert)
+
+let embedding (c : Config.t) = 2 * c.hidden * c.vocab
+
+let total (c : Config.t) =
+  match c.total_params_override with
+  | Some p -> p
+  | None ->
+    float_of_int
+      ((c.num_layers * (attention_per_layer c + moe_per_layer c)) + embedding c)
+
+let hardwired (c : Config.t) =
+  match c.total_params_override with
+  | Some p -> p (* external models: footprint only, no split available *)
+  | None -> total c -. float_of_int (embedding c)
+
+let bytes (c : Config.t) = total c *. c.bits_per_param /. 8.0
+
+let router_fraction (c : Config.t) =
+  if c.experts = 0 then 0.0
+  else float_of_int (c.num_layers * router_per_layer c) /. total c

@@ -1,0 +1,29 @@
+(** Quantization-fidelity evaluation.
+
+    The paper hardwires the *already 4-bit* gpt-oss checkpoint, noting the
+    model size "has a concrete lower bound" (§2.2) — i.e. FP4 is where
+    production models already live, so hardwiring loses nothing further.
+    This module quantifies that premise on the runnable reference model:
+    a float checkpoint and its MXFP4 twin are compared on perplexity,
+    hidden-state geometry and next-token agreement over synthetic
+    sequences. *)
+
+type report = {
+  sequences : int;
+  tokens_scored : int;
+  ppl_float : float;
+  ppl_fp4 : float;
+  ppl_ratio : float;          (** fp4 / float; 1.0 = no degradation. *)
+  hidden_cosine : float;      (** Mean cosine similarity of final hidden
+                                  states, float vs fp4. *)
+  top1_agreement : float;     (** Fraction of steps where both models pick
+                                  the same greedy token. *)
+}
+
+val evaluate :
+  ?sequences:int -> ?length:int -> Hnlpu_util.Rng.t -> Config.t -> report
+(** Build a float checkpoint, quantize its twin, score [sequences]
+    (default 8) random sequences of [length] (default 12) tokens through
+    both.  The config must be architecturally specified. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,31 @@
+let bos = 256
+let eos = 257
+let pad = 258
+let vocab_size = 259
+
+let encode ?(add_bos = true) s =
+  let bytes = List.init (String.length s) (fun i -> Char.code s.[i]) in
+  if add_bos then bos :: bytes else bytes
+
+let decode ids =
+  let buf = Buffer.create (List.length ids) in
+  List.iter (fun id -> if id >= 0 && id < 256 then Buffer.add_char buf (Char.chr id)) ids;
+  Buffer.contents buf
+
+let token_name id =
+  if id < 0 || id >= vocab_size then invalid_arg "Tokenizer.token_name";
+  if id = bos then "<bos>"
+  else if id = eos then "<eos>"
+  else if id = pad then "<pad>"
+  else begin
+    let c = Char.chr id in
+    if c >= ' ' && c <= '~' then Printf.sprintf "'%c'" c
+    else Printf.sprintf "0x%02X" id
+  end
+
+let tiny_byte_config =
+  {
+    Config.tiny with
+    Config.name = "tiny-byte";
+    vocab = vocab_size;
+  }

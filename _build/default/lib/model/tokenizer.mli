@@ -1,0 +1,27 @@
+(** Byte-level tokenizer.
+
+    HNLPU's interface is "token IDs in, token IDs out" (§4.1); real
+    deployments put a tokenizer in front.  Since we have synthetic weights,
+    a byte-level vocabulary (like GPT-2's base alphabet) is the honest
+    choice: ids 0..255 are raw bytes, followed by the special tokens.
+    [Config.tiny_byte] is a reference model sized for this vocabulary. *)
+
+val vocab_size : int
+(** 259: 256 bytes + BOS + EOS + PAD. *)
+
+val bos : int
+val eos : int
+val pad : int
+
+val encode : ?add_bos:bool -> string -> int list
+(** Bytes to ids; [add_bos] (default true) prepends {!bos}. *)
+
+val decode : int list -> string
+(** Ids to bytes; special tokens are dropped. *)
+
+val token_name : int -> string
+(** Printable name: ["'a'"], ["0x0A"], ["<bos>"]...  Raises on
+    out-of-range ids. *)
+
+val tiny_byte_config : Config.t
+(** A [tiny]-scale MoE transformer over this vocabulary. *)

@@ -1,0 +1,96 @@
+open Hnlpu_tensor
+
+type layer = {
+  attn_norm : Vec.t;
+  wq : Mat.t;
+  wk : Mat.t;
+  wv : Mat.t;
+  wo : Mat.t;
+  ffn_norm : Vec.t;
+  w_router : Mat.t option;
+  experts : expert array;
+}
+
+and expert = { w_up : Mat.t; w_gate : Mat.t; w_down : Mat.t }
+
+type t = {
+  config : Config.t;
+  embedding : Mat.t;
+  layers : layer array;
+  final_norm : Vec.t;
+  unembedding : Mat.t;
+}
+
+let quantize_mat m =
+  (* Row-wise MXFP4 round-trip: the numerics of a 4-bit checkpoint. *)
+  Mat.of_arrays
+    (Array.map
+       (fun row -> Hnlpu_fp4.Blockscale.(dequantize (quantize row)))
+       (Mat.to_arrays m))
+
+let random ?(quantize_fp4 = true) rng (c : Config.t) =
+  Config.validate c;
+  if c.total_params_override <> None then
+    invalid_arg "Weights.random: external (footprint-only) model";
+  let mat rows cols =
+    let m = Mat.gaussian rng ~rows ~cols in
+    if quantize_fp4 then quantize_mat m else m
+  in
+  let gain n = Array.make n 1.0 in
+  let expert () =
+    {
+      w_up = mat c.hidden c.expert_hidden;
+      w_gate = mat c.hidden c.expert_hidden;
+      w_down = mat c.expert_hidden c.hidden;
+    }
+  in
+  let layer () =
+    {
+      attn_norm = gain c.hidden;
+      wq = mat c.hidden (Config.q_dim c);
+      wk = mat c.hidden (Config.kv_dim c);
+      wv = mat c.hidden (Config.kv_dim c);
+      wo = mat (Config.q_dim c) c.hidden;
+      ffn_norm = gain c.hidden;
+      w_router =
+        (if c.experts = 0 then None else Some (mat c.hidden c.experts));
+      experts = Array.init (max 1 c.experts) (fun _ -> expert ());
+    }
+  in
+  {
+    config = c;
+    embedding = Mat.gaussian rng ~rows:c.vocab ~cols:c.hidden ~std:1.0;
+    layers = Array.init c.num_layers (fun _ -> layer ());
+    final_norm = gain c.hidden;
+    unembedding = mat c.hidden c.vocab;
+  }
+
+let quantize t =
+  let q = quantize_mat in
+  let layer l =
+    {
+      l with
+      wq = q l.wq;
+      wk = q l.wk;
+      wv = q l.wv;
+      wo = q l.wo;
+      w_router = Option.map q l.w_router;
+      experts =
+        Array.map
+          (fun e -> { w_up = q e.w_up; w_gate = q e.w_gate; w_down = q e.w_down })
+          l.experts;
+    }
+  in
+  { t with layers = Array.map layer t.layers; unembedding = q t.unembedding }
+
+let count_params t =
+  let msize m = Mat.rows m * Mat.cols m in
+  let layer l =
+    msize l.wq + msize l.wk + msize l.wv + msize l.wo
+    + (match l.w_router with None -> 0 | Some r -> msize r)
+    + Array.fold_left
+        (fun acc e -> acc + msize e.w_up + msize e.w_gate + msize e.w_down)
+        0 l.experts
+  in
+  msize t.embedding + msize t.unembedding
+  + Array.fold_left (fun acc l -> acc + layer l) 0 t.layers

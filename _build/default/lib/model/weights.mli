@@ -1,0 +1,45 @@
+(** Synthetic weight generation for the reference transformer.
+
+    The paper hardwires the real gpt-oss checkpoint; we have no weights, so
+    the runnable model uses Gaussian-initialized tensors — the substitution
+    documented in DESIGN.md.  Optionally each weight matrix is round-tripped
+    through MXFP4 block quantization ({!Hnlpu_fp4.Blockscale}) so the
+    numerics seen downstream are exactly those of a 4-bit model. *)
+
+type layer = {
+  attn_norm : Hnlpu_tensor.Vec.t;
+  wq : Hnlpu_tensor.Mat.t;  (** (hidden, q_dim) *)
+  wk : Hnlpu_tensor.Mat.t;  (** (hidden, kv_dim) *)
+  wv : Hnlpu_tensor.Mat.t;  (** (hidden, kv_dim) *)
+  wo : Hnlpu_tensor.Mat.t;  (** (q_dim, hidden) *)
+  ffn_norm : Hnlpu_tensor.Vec.t;
+  w_router : Hnlpu_tensor.Mat.t option;  (** (hidden, experts); None if dense. *)
+  experts : expert array;  (** length [experts], or 1 if dense. *)
+}
+
+and expert = {
+  w_up : Hnlpu_tensor.Mat.t;    (** (hidden, expert_hidden) *)
+  w_gate : Hnlpu_tensor.Mat.t;  (** (hidden, expert_hidden) *)
+  w_down : Hnlpu_tensor.Mat.t;  (** (expert_hidden, hidden) *)
+}
+
+type t = {
+  config : Config.t;
+  embedding : Hnlpu_tensor.Mat.t;  (** (vocab, hidden) *)
+  layers : layer array;
+  final_norm : Hnlpu_tensor.Vec.t;
+  unembedding : Hnlpu_tensor.Mat.t;  (** (hidden, vocab) *)
+}
+
+val random : ?quantize_fp4:bool -> Hnlpu_util.Rng.t -> Config.t -> t
+(** Fresh synthetic weights.  [quantize_fp4] (default true) round-trips
+    every projection matrix through MXFP4. *)
+
+val count_params : t -> int
+(** Actual element count of the instantiated tensors; must agree with
+    {!Params.total}. *)
+
+val quantize : t -> t
+(** MXFP4 round-trip of every projection matrix of an existing checkpoint
+    (embedding left full-precision, norms untouched) — produces the 4-bit
+    twin of a float model for fidelity studies ({!Quant_eval}). *)

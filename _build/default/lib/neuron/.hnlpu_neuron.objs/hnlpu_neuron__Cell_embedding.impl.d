@@ -1,0 +1,1 @@
+lib/neuron/cell_embedding.ml: Array Census Csa Fp4 Gemv Hnlpu_fp4 Hnlpu_gates Report Tech Timing

@@ -1,0 +1,1 @@
+lib/neuron/cell_embedding.mli: Gemv Hnlpu_fp4 Hnlpu_gates Report

@@ -1,0 +1,1 @@
+lib/neuron/gemv.ml: Array Bitserial Fp4 Hnlpu_fp4 Hnlpu_util Rng

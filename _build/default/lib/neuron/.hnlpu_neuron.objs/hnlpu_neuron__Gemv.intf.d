@@ -1,0 +1,1 @@
+lib/neuron/gemv.mli: Hnlpu_fp4 Hnlpu_util

@@ -1,0 +1,1 @@
+lib/neuron/mac_array.ml: Array Census Gemv Hnlpu_fp4 Hnlpu_gates List Report Sram Tech Timing

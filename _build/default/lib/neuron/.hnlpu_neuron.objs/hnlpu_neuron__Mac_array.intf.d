@@ -1,0 +1,1 @@
+lib/neuron/mac_array.mli: Gemv Hnlpu_gates Report

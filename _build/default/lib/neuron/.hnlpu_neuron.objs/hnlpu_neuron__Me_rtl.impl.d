@@ -1,0 +1,1 @@
+lib/neuron/me_rtl.ml: Array Bitserial Fp4 Gemv Hnlpu_fp4 List Metal_embedding

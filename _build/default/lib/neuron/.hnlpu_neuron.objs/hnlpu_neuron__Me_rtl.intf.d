@@ -1,0 +1,1 @@
+lib/neuron/me_rtl.mli: Gemv

@@ -1,0 +1,1 @@
+lib/neuron/metal_embedding.ml: Array Bitserial Census Csa Fp4 Gemv Hnlpu_fp4 Hnlpu_gates List Printf Report Tech Timing

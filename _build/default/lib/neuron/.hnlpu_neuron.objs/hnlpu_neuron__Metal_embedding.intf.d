@@ -1,0 +1,1 @@
+lib/neuron/metal_embedding.mli: Gemv Hnlpu_gates Report

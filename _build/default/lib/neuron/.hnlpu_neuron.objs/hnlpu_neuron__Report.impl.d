@@ -1,0 +1,1 @@
+lib/neuron/report.ml: Format Hnlpu_gates Hnlpu_util List Printf Table Tech Units

@@ -1,0 +1,1 @@
+lib/neuron/report.mli: Format Hnlpu_gates Hnlpu_util

@@ -1,0 +1,1 @@
+lib/neuron/timing.ml: Hnlpu_fp4

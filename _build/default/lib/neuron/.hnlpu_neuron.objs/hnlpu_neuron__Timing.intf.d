@@ -1,0 +1,1 @@
+lib/neuron/timing.mli: Hnlpu_fp4

@@ -1,0 +1,76 @@
+open Hnlpu_fp4
+open Hnlpu_gates
+
+type t = {
+  gemv : Gemv.t;
+  tree_stats : Csa.stats;  (** One neuron's product-reduction tree. *)
+  product_bits : int;
+}
+
+let make gemv =
+  (* Product of an act_bits two's-complement activation and a half-unit
+     constant (|c| <= 12) fits in act_bits + 4 bits. *)
+  let product_bits = gemv.Gemv.act_bits + 4 in
+  let dummy = Array.make gemv.Gemv.in_features 0 in
+  let _, tree_stats = Csa.reduce ~width:product_bits dummy in
+  { gemv; tree_stats; product_bits }
+
+let tree_stats t = t.tree_stats
+
+let cycles t =
+  let mult_levels = Timing.fa_levels * 2 in
+  Timing.cycles_of_levels (mult_levels + Timing.csa_levels t.tree_stats)
+
+(* Wide parallel trees see uneven arrival times; spurious transitions
+   multiply the switched capacitance.  1.8x is a standard planning figure. *)
+let glitch_factor = 1.8
+
+let report ?(tech = Tech.n5) t =
+  let g = t.gemv in
+  let n = g.Gemv.in_features and m = g.Gemv.out_features in
+  let mult_tr =
+    (* Actual constant multipliers of this weight matrix. *)
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc w ->
+            acc + Census.fp4_constant_multiplier ~input_bits:g.Gemv.act_bits w)
+          acc row)
+      0 g.Gemv.weights
+  in
+  let tree_tr = Census.csa_cost t.tree_stats * m in
+  let out_regs = Census.register (t.product_bits + 12) * m in
+  let transistors = float_of_int (mult_tr + tree_tr + out_regs) in
+  let fa_ops_per_neuron =
+    t.tree_stats.Csa.full_adders + (t.tree_stats.Csa.half_adders / 2)
+    + t.tree_stats.Csa.cpa_width
+  in
+  let dyn =
+    ((float_of_int (fa_ops_per_neuron * m) *. glitch_factor)
+    +. (float_of_int (n * m) *. 2.0 (* shift-add multiplier activity *)))
+    *. tech.Tech.gate_energy_fj *. 1e-15
+  in
+  {
+    Report.design = "Cell-Embedding (CE)";
+    transistors;
+    sram_bytes = 0;
+    area_mm2 = Tech.area_of_transistors tech transistors;
+    cycles = cycles t;
+    dynamic_energy_j = dyn;
+    leakage_power_w = transistors *. tech.Tech.leakage_w_per_transistor;
+  }
+
+let run t x =
+  let g = t.gemv in
+  (* Form all products combinationally, then reduce per neuron — the CE
+     datapath shape.  Must equal the reference by construction. *)
+  let out =
+    Array.map
+      (fun row ->
+        let acc = ref 0 in
+        Array.iteri (fun i w -> acc := !acc + (Fp4.to_half_units w * x.(i))) row;
+        !acc)
+      g.Gemv.weights
+  in
+  assert (out = Gemv.reference g x);
+  (out, report t)

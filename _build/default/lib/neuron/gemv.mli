@@ -1,0 +1,45 @@
+(** The common workload of the embedding-methodology comparison (paper §6.3):
+    a matrix–vector product [y = x . W] with FP4 weights and integer
+    activations.
+
+    Weights are E2M1 codes; activations are signed two's-complement integers
+    of [act_bits] bits.  All three machines ({!Mac_array},
+    {!Cell_embedding}, {!Metal_embedding}) must return exactly
+    {!reference}'s output: the dot products in half-units
+    (LSB = 0.5, because every E2M1 value is a multiple of 0.5). *)
+
+type t = {
+  weights : Hnlpu_fp4.Fp4.t array array;
+      (** [weights.(o).(i)]: row per output neuron, [out_features] x
+          [in_features]. *)
+  in_features : int;
+  out_features : int;
+  act_bits : int;  (** Two's-complement width of activations (paper: 8). *)
+}
+
+val make : weights:Hnlpu_fp4.Fp4.t array array -> act_bits:int -> t
+(** Validates rectangularity and positive dimensions. *)
+
+val random : Hnlpu_util.Rng.t -> in_features:int -> out_features:int ->
+  act_bits:int -> t
+(** Uniform random E2M1 codes — synthetic stand-in for real model weights
+    (see DESIGN.md substitutions). *)
+
+val random_activations : Hnlpu_util.Rng.t -> t -> int array
+(** Uniform activations over the full [act_bits] range. *)
+
+val paper_benchmark : Hnlpu_util.Rng.t -> t
+(** The paper's operator benchmark: 1x1024 input against a 1024x128 FP4
+    weight matrix ("typical dimension in an LLM attention block"). *)
+
+val reference : t -> int array -> int array
+(** [reference t x]: exact dot products in half-units,
+    [y.(o) = sum_i to_half_units weights.(o).(i) * x.(i)]. *)
+
+val reference_float : t -> int array -> float array
+(** Same, in real units (half-units / 2). *)
+
+val weight_bits : t -> int
+(** Total weight storage footprint in bits (4 per element). *)
+
+val total_macs : t -> int

@@ -1,0 +1,76 @@
+open Hnlpu_gates
+
+type t = { gemv : Gemv.t; n_macs : int; sram : Sram.t }
+
+let make ?(n_macs = 1024) gemv =
+  if n_macs <= 0 then invalid_arg "Mac_array.make: n_macs must be positive";
+  let bytes = (Gemv.weight_bits gemv + 7) / 8 in
+  (* One tile of weights per access: n_macs 4-bit weights. *)
+  let sram = Sram.make ~capacity_bytes:bytes ~word_bits:(n_macs * 4) () in
+  { gemv; n_macs; sram }
+
+let tiles t = (Gemv.total_macs t.gemv + t.n_macs - 1) / t.n_macs
+
+let mac_fa_equiv = Census.fp4_full_mac ~input_bits:8 / Census.full_adder
+
+let pipeline_fill t =
+  (* Read issue + MAC + per-lane accumulation chain across a tile row. *)
+  let accum_levels =
+    Timing.cpa_levels (t.gemv.Gemv.act_bits + 8) * (t.gemv.Gemv.in_features / t.n_macs |> max 1)
+  in
+  2 + Timing.cycles_of_levels (Timing.fa_levels * 4) + Timing.cycles_of_levels accum_levels
+
+let cycles t = tiles t + pipeline_fill t
+
+let report ?(tech = Tech.n5) t =
+  let macs = float_of_int t.n_macs in
+  let mac_tr = float_of_int (Census.fp4_full_mac ~input_bits:t.gemv.Gemv.act_bits) in
+  let logic_tr = (macs *. mac_tr) +. float_of_int (Census.register (t.n_macs * 4)) in
+  let total_bits = Gemv.weight_bits t.gemv in
+  let reads = Sram.reads_to_stream t.sram ~total_bits in
+  let read_energy = float_of_int reads *. Sram.read_energy_j tech t.sram in
+  let mac_energy =
+    float_of_int (Gemv.total_macs t.gemv)
+    *. float_of_int mac_fa_equiv *. tech.Tech.gate_energy_fj *. 1e-15
+  in
+  let reg_energy =
+    float_of_int reads *. float_of_int (t.n_macs * 4)
+    *. tech.Tech.flop_energy_fj *. 1e-15
+  in
+  {
+    Report.design = "MAC array (MA)";
+    transistors = logic_tr;
+    sram_bytes = Sram.capacity_bytes t.sram;
+    (* Figure 12 convention: SRAM macro only. *)
+    area_mm2 = Sram.area_mm2 tech t.sram;
+    cycles = cycles t;
+    dynamic_energy_j = read_energy +. mac_energy +. reg_energy;
+    leakage_power_w =
+      Sram.leakage_w tech t.sram +. (logic_tr *. tech.Tech.leakage_w_per_transistor);
+  }
+
+let run t x =
+  let ref_out = Gemv.reference t.gemv x in
+  (* Emulate the tiled execution: accumulate tile by tile and check that the
+     tiling reproduces the reference exactly. *)
+  let out = Array.make t.gemv.Gemv.out_features 0 in
+  let per_row = max 1 (t.n_macs / t.gemv.Gemv.in_features) in
+  ignore per_row;
+  let flat = ref [] in
+  Array.iteri
+    (fun o row ->
+      Array.iteri (fun i w -> flat := (o, Hnlpu_fp4.Fp4.to_half_units w * x.(i)) :: !flat) row)
+    t.gemv.Gemv.weights;
+  let items = Array.of_list (List.rev !flat) in
+  let n = Array.length items in
+  let pos = ref 0 in
+  while !pos < n do
+    let stop = min n (!pos + t.n_macs) in
+    for k = !pos to stop - 1 do
+      let o, p = items.(k) in
+      out.(o) <- out.(o) + p
+    done;
+    pos := stop
+  done;
+  assert (out = ref_out);
+  (out, report t)

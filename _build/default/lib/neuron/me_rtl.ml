@@ -1,0 +1,110 @@
+open Hnlpu_fp4
+
+type cycle_state = {
+  cycle : int;
+  plane_in : int option;
+  region_counts : int array array;
+  plane_sums : int array;
+  accumulators : int array;
+  planes_folded : int;
+}
+
+type t = { machine : Metal_embedding.t; gemv : Gemv.t; routing : int array array }
+
+let regions = 16
+
+let make ?slack g =
+  let machine = Metal_embedding.make ?slack g in
+  (* Recover the routing (input -> region) from the weights directly; the
+     Metal_embedding internals are private. *)
+  let routing = Array.map (Array.map Fp4.code) g.Gemv.weights in
+  { machine; gemv = g; routing }
+
+let total_cycles t = t.gemv.Gemv.act_bits + 3
+
+let partial_reference (g : Gemv.t) x ~planes =
+  let bits = g.Gemv.act_bits in
+  if planes < 0 || planes > bits then invalid_arg "Me_rtl.partial_reference";
+  let ps = Bitserial.planes ~bits x in
+  Array.map
+    (fun row ->
+      let acc = ref 0 in
+      for b = 0 to planes - 1 do
+        let pw = Bitserial.plane_weight ~bits b in
+        Array.iteri
+          (fun i w ->
+            if Bitserial.plane_get ps.(b) i = 1 then
+              acc := !acc + (pw * Fp4.to_half_units w))
+          row
+      done;
+      !acc)
+    g.Gemv.weights
+
+let run t x =
+  let g = t.gemv in
+  if Array.length x <> g.Gemv.in_features then
+    invalid_arg "Me_rtl.run: activation length mismatch";
+  let bits = g.Gemv.act_bits in
+  let m = g.Gemv.out_features in
+  let planes = Bitserial.planes ~bits x in
+  (* Pipeline registers, with the plane index each stage is carrying
+     (None = bubble). *)
+  let des : int option ref = ref None in
+  let popcnt = Array.make_matrix m regions 0 in
+  let popcnt_plane : int option ref = ref None in
+  let plane_sum = Array.make m 0 in
+  let plane_sum_plane : int option ref = ref None in
+  let acc = Array.make m 0 in
+  let folded = ref 0 in
+  let trace = ref [] in
+  for cycle = 0 to total_cycles t - 1 do
+    (* Stage 4: accumulator folds the registered plane sum. *)
+    (match !plane_sum_plane with
+    | Some p ->
+      let pw = Bitserial.plane_weight ~bits p in
+      for o = 0 to m - 1 do
+        acc.(o) <- acc.(o) + (pw * plane_sum.(o))
+      done;
+      incr folded
+    | None -> ());
+    (* Stage 3: multiply-by-constant + 16-way tree over the counts. *)
+    (match !popcnt_plane with
+    | Some p ->
+      for o = 0 to m - 1 do
+        let s = ref 0 in
+        for c = 0 to regions - 1 do
+          s := !s + (Fp4.to_half_units (Fp4.of_code c) * popcnt.(o).(c))
+        done;
+        plane_sum.(o) <- !s
+      done;
+      plane_sum_plane := Some p
+    | None -> plane_sum_plane := None);
+    (* Stage 2: POPCNT of the wires the DES is driving. *)
+    (match !des with
+    | Some p ->
+      for o = 0 to m - 1 do
+        Array.fill popcnt.(o) 0 regions 0
+      done;
+      for o = 0 to m - 1 do
+        let route = t.routing.(o) in
+        for i = 0 to g.Gemv.in_features - 1 do
+          if Bitserial.plane_get planes.(p) i = 1 then
+            popcnt.(o).(route.(i)) <- popcnt.(o).(route.(i)) + 1
+        done
+      done;
+      popcnt_plane := Some p
+    | None -> popcnt_plane := None);
+    (* Stage 1: DES presents the next plane. *)
+    des := (if cycle < bits then Some cycle else None);
+    trace :=
+      {
+        cycle;
+        plane_in = !des;
+        region_counts = Array.map Array.copy popcnt;
+        plane_sums = Array.copy plane_sum;
+        accumulators = Array.copy acc;
+        planes_folded = !folded;
+      }
+      :: !trace
+  done;
+  (List.rev !trace, Array.copy acc)

@@ -1,0 +1,151 @@
+open Hnlpu_fp4
+open Hnlpu_gates
+
+type t = {
+  gemv : Gemv.t;
+  slack : float;
+  capacity : int;  (** Ports per POPCNT region. *)
+  routing : int array array array;
+      (** [routing.(o).(c)]: input indices of neuron [o] routed to region
+          [c] — the "metal wires". *)
+  count_bits : int;  (** Width of a region's popcount result. *)
+  popcount_stats : Csa.stats;  (** One region's tree at full capacity. *)
+  tree_stats : Csa.stats;  (** The 16-way product reduction tree. *)
+}
+
+let regions = 16
+
+let make ?(slack = 2.0) gemv =
+  if slack < 1.0 then invalid_arg "Metal_embedding.make: slack below 1.0";
+  let n = gemv.Gemv.in_features in
+  let balanced = (n + regions - 1) / regions in
+  let capacity = int_of_float (ceil (float_of_int balanced *. slack)) in
+  let routing =
+    Array.map
+      (fun row ->
+        let buckets = Array.make regions [] in
+        Array.iteri
+          (fun i w ->
+            let c = Fp4.code w in
+            buckets.(c) <- i :: buckets.(c))
+          row;
+        Array.map (fun l -> Array.of_list (List.rev l)) buckets)
+      gemv.Gemv.weights
+  in
+  Array.iteri
+    (fun o buckets ->
+      Array.iteri
+        (fun c bucket ->
+          if Array.length bucket > capacity then
+            invalid_arg
+              (Printf.sprintf
+                 "Metal_embedding.make: neuron %d region %d holds %d wires, \
+                  capacity %d — increase slack"
+                 o c (Array.length bucket) capacity))
+        buckets)
+    routing;
+  let count_bits =
+    let rec bits k acc = if k = 0 then acc else bits (k lsr 1) (acc + 1) in
+    bits capacity 0
+  in
+  let _, popcount_stats = Csa.reduce ~width:1 (Array.make capacity 0) in
+  (* 16 signed products of (count_bits + 4) bits. *)
+  let _, tree_stats = Csa.reduce ~width:(count_bits + 4) (Array.make regions 0) in
+  { gemv; slack; capacity; routing; count_bits; popcount_stats; tree_stats }
+
+let region_capacity t = t.capacity
+
+let region_load t =
+  let load = Array.make regions 0 in
+  Array.iter
+    (fun buckets ->
+      Array.iteri (fun c b -> load.(c) <- max load.(c) (Array.length b)) buckets)
+    t.routing;
+  load
+
+let serial_cycles t = t.gemv.Gemv.act_bits
+
+let drain_cycles t =
+  (* Popcount, multiply, 16-way tree and the shifting accumulator are
+     pipelined behind the serial planes; the drain is their total depth. *)
+  let levels =
+    Timing.csa_levels t.popcount_stats
+    + (Timing.fa_levels * 2) (* count x constant shift-add *)
+    + Timing.csa_levels t.tree_stats
+    + Timing.cpa_levels (t.count_bits + 4 + t.gemv.Gemv.act_bits + 4)
+  in
+  Timing.cycles_of_levels levels
+
+let cycles t = serial_cycles t + drain_cycles t
+
+let accumulator_bits t =
+  (* Sum of n products |c*x| <= 12 * 2^(act_bits-1): acc needs
+     act_bits + 4 + log2 n + 1 bits. *)
+  let rec bits k acc = if k = 0 then acc else bits (k lsr 1) (acc + 1) in
+  t.gemv.Gemv.act_bits + 5 + bits t.gemv.Gemv.in_features 0
+
+let report ?(tech = Tech.n5) t =
+  let g = t.gemv in
+  let m = g.Gemv.out_features in
+  let popcount_tr = Census.popcount_region ~ports:t.capacity * regions in
+  let mult_tr =
+    List.fold_left
+      (fun acc code ->
+        acc + Census.fp4_constant_multiplier ~input_bits:t.count_bits code)
+      0 Fp4.all
+  in
+  let tree_tr = Census.csa_cost t.tree_stats in
+  let acc_tr =
+    Census.register (accumulator_bits t) + Census.ripple_adder (accumulator_bits t)
+  in
+  let per_neuron = popcount_tr + mult_tr + tree_tr + acc_tr in
+  let transistors = float_of_int (per_neuron * m) in
+  (* Only wired ports switch; grounded spare ports are static. *)
+  let fa_ops_per_plane_per_neuron =
+    g.Gemv.in_features
+    + (t.tree_stats.Csa.full_adders + t.tree_stats.Csa.cpa_width)
+    + (regions * t.count_bits (* multiplier activity *))
+  in
+  let flop_ops_per_plane_per_neuron = accumulator_bits t in
+  let planes = serial_cycles t in
+  let dyn =
+    float_of_int (planes * m)
+    *. ((float_of_int fa_ops_per_plane_per_neuron *. tech.Tech.gate_energy_fj)
+       +. (float_of_int flop_ops_per_plane_per_neuron *. tech.Tech.flop_energy_fj))
+    *. 1e-15
+  in
+  {
+    Report.design = "Metal-Embedding (ME)";
+    transistors;
+    sram_bytes = 0;
+    area_mm2 = Tech.area_of_transistors tech transistors;
+    cycles = cycles t;
+    dynamic_energy_j = dyn;
+    leakage_power_w = transistors *. tech.Tech.leakage_w_per_transistor;
+  }
+
+let run t x =
+  let g = t.gemv in
+  if Array.length x <> g.Gemv.in_features then
+    invalid_arg "Metal_embedding.run: activation length mismatch";
+  let bits = g.Gemv.act_bits in
+  let planes = Bitserial.planes ~bits x in
+  let out = Array.make g.Gemv.out_features 0 in
+  for b = 0 to bits - 1 do
+    let plane = planes.(b) in
+    let pw = Bitserial.plane_weight ~bits b in
+    for o = 0 to g.Gemv.out_features - 1 do
+      let plane_sum = ref 0 in
+      for c = 0 to regions - 1 do
+        let bucket = t.routing.(o).(c) in
+        (* POPCNT region c: count the set wires routed here. *)
+        let cnt = ref 0 in
+        Array.iter (fun i -> cnt := !cnt + Bitserial.plane_get plane i) bucket;
+        (* Multiply stage: count x constant. *)
+        plane_sum := !plane_sum + (Fp4.to_half_units (Fp4.of_code c) * !cnt)
+      done;
+      (* Shifting accumulator. *)
+      out.(o) <- out.(o) + (pw * !plane_sum)
+    done
+  done;
+  (out, report t)

@@ -1,0 +1,44 @@
+(** Metal-Embedding (ME) — the Hardwired-Neuron machine (paper §3.1,
+    Figures 4-2 and 5).
+
+    Activations arrive bit-serially, LSB first.  Each input wire is routed
+    (by the M8–M11 metal layers — here, by the [routing] table) to the
+    POPCNT region of its weight's E2M1 code.  Per bit-plane the machine:
+
+    + counts the set wires of each region (POPCNT),
+    + multiplies each count by the region's constant (16 multipliers),
+    + reduces the 16 products with a small adder tree, and
+    + accumulates the plane sums with weights [2^b] (negative for the sign
+      plane).
+
+    The silicon is weight-independent: changing a weight only re-routes a
+    wire, which is what makes the Sea-of-Neurons mask sharing possible.
+
+    [run] is bit-exact against {!Gemv.reference} for all weights and
+    activations — the central functional claim, covered by property tests. *)
+
+type t
+
+val make : ?slack:float -> Gemv.t -> t
+(** [slack] (default 2.0) oversizes each POPCNT region relative to the
+    balanced share [in_features/16] so that imbalanced weight-value
+    distributions still fit (paper: "accumulators should be made with
+    sufficient slackness"; spare ports are grounded).  Raises
+    [Invalid_argument] if some weight value occurs more often than the
+    slacked capacity. *)
+
+val run : t -> int array -> int array * Report.t
+(** Execute the bit-serial machine; returns half-unit results and the 5 nm
+    PPA report. *)
+
+val report : ?tech:Hnlpu_gates.Tech.t -> t -> Report.t
+
+val region_capacity : t -> int
+(** Ports provisioned per POPCNT region. *)
+
+val region_load : t -> int array
+(** [region_load t].(c): how many input wires of one (the fullest) neuron
+    actually land in region [c] — diagnostics for the slack sizing. *)
+
+val serial_cycles : t -> int
+(** Bit-planes streamed per GEMV = activation width. *)

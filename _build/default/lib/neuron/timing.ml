@@ -1,0 +1,15 @@
+let levels_per_cycle = 16
+
+let fa_levels = 2
+
+let cpa_levels w =
+  if w <= 0 then 0
+  else
+    let rec log2_ceil n acc = if n <= 1 then acc else log2_ceil ((n + 1) / 2) (acc + 1) in
+    2 * log2_ceil w 0
+
+let cycles_of_levels levels =
+  if levels <= 0 then 0 else (levels + levels_per_cycle - 1) / levels_per_cycle
+
+let csa_levels (s : Hnlpu_fp4.Csa.stats) =
+  (s.depth * fa_levels) + cpa_levels s.cpa_width

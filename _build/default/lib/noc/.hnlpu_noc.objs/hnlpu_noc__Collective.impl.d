@@ -1,0 +1,1 @@
+lib/noc/collective.ml: Array Hnlpu_tensor Link List Topology Vec

@@ -1,0 +1,1 @@
+lib/noc/collective.mli: Hnlpu_tensor Link Topology

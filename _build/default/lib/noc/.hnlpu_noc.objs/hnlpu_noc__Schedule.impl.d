@@ -1,0 +1,1 @@
+lib/noc/schedule.ml: Array Float Hashtbl Link List Topology

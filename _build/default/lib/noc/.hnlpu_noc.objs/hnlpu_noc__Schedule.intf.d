@@ -1,0 +1,1 @@
+lib/noc/schedule.mli: Collective Link Topology

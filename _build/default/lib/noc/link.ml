@@ -1,0 +1,24 @@
+type t = {
+  bandwidth_bytes_per_s : float;
+  phy_latency_s : float;
+  engine_overhead_s : float;
+  pj_per_bit : float;
+}
+
+let cxl3 =
+  {
+    bandwidth_bytes_per_s = 128.0e9;
+    phy_latency_s = 90.0e-9;
+    engine_overhead_s = 290.0e-9;
+    pj_per_bit = 8.0;
+  }
+
+let transfer_time_s t ~bytes =
+  if bytes < 0 then invalid_arg "Link.transfer_time_s: negative payload";
+  t.phy_latency_s +. t.engine_overhead_s
+  +. (float_of_int bytes /. t.bandwidth_bytes_per_s)
+
+let transfer_energy_j t ~bytes =
+  float_of_int (bytes * 8) *. t.pj_per_bit *. 1e-12
+
+let bytes_per_value = 2

@@ -1,0 +1,127 @@
+type transfer = { src : Topology.chip; dst : Topology.chip; bytes : int }
+
+type step = transfer list
+
+type t = step list
+
+let check_group group =
+  match group with
+  | [] -> invalid_arg "Schedule: empty group"
+  | _ ->
+    List.iter
+      (fun c -> if not (Topology.valid c) then invalid_arg "Schedule: bad chip")
+      group
+
+let peers root group = List.filter (fun c -> c <> root) group
+
+let reduce ~root ~group ~bytes =
+  check_group group;
+  if not (List.mem root group) then invalid_arg "Schedule.reduce: root not in group";
+  [ List.map (fun src -> { src; dst = root; bytes }) (peers root group) ]
+
+let broadcast ~root ~group ~bytes =
+  check_group group;
+  if not (List.mem root group) then invalid_arg "Schedule.broadcast: root not in group";
+  [ List.map (fun dst -> { src = root; dst; bytes }) (peers root group) ]
+
+let all_reduce ~group ~bytes =
+  check_group group;
+  let root = List.fold_left min max_int group in
+  reduce ~root ~group ~bytes @ broadcast ~root ~group ~bytes
+
+let all_gather ~group ~shard_bytes =
+  check_group group;
+  let ring = Array.of_list (List.sort compare group) in
+  let k = Array.length ring in
+  (* Step s: every chip forwards the shard it received s steps ago to its
+     ring successor. *)
+  List.init (k - 1) (fun _ ->
+      List.init k (fun i ->
+          { src = ring.(i); dst = ring.((i + 1) mod k); bytes = shard_bytes }))
+
+let scatter ~root ~group ~shard_bytes =
+  check_group group;
+  if not (List.mem root group) then invalid_arg "Schedule.scatter: root not in group";
+  [ List.map (fun dst -> { src = root; dst; bytes = shard_bytes }) (peers root group) ]
+
+let all_chip_all_reduce ~bytes =
+  let col_phase which =
+    List.concat_map
+      (fun col -> List.nth (all_reduce ~group:(Topology.col_group col) ~bytes) which)
+      [ 0; 1; 2; 3 ]
+  in
+  let row_phase which =
+    List.concat_map
+      (fun row -> List.nth (all_reduce ~group:(Topology.row_group row) ~bytes) which)
+      [ 0; 1; 2; 3 ]
+  in
+  [ col_phase 0; col_phase 1; row_phase 0; row_phase 1 ]
+
+type violation =
+  | Not_a_link of Topology.chip * Topology.chip
+  | Tx_conflict of Topology.chip
+  | Rx_overmerge of Topology.chip
+
+let validate plan =
+  let violations = ref [] in
+  List.iter
+    (fun step ->
+      let tx = Hashtbl.create 16 and rx = Hashtbl.create 16 in
+      List.iter
+        (fun { src; dst; bytes = _ } ->
+          if not (Topology.connected src dst) then
+            violations := Not_a_link (src, dst) :: !violations;
+          (* One TX port per link: two same-step sends from src to the same
+             dst would serialize. *)
+          if Hashtbl.mem tx (src, dst) then violations := Tx_conflict src :: !violations
+          else Hashtbl.add tx (src, dst) ();
+          let n = (try Hashtbl.find rx dst with Not_found -> 0) + 1 in
+          Hashtbl.replace rx dst n;
+          if n > Topology.degree dst then
+            violations := Rx_overmerge dst :: !violations)
+        step)
+    plan;
+  List.rev !violations
+
+let makespan ?(link = Link.cxl3) plan =
+  List.fold_left
+    (fun acc step ->
+      acc
+      +. List.fold_left
+           (fun worst { bytes; _ } ->
+             Float.max worst (Link.transfer_time_s link ~bytes))
+           0.0 step)
+    0.0 plan
+
+let transfer_count plan = List.fold_left (fun a s -> a + List.length s) 0 plan
+
+let run_all_reduce ~group vals =
+  (match vals with
+  | [] -> invalid_arg "Schedule.run_all_reduce: empty"
+  | _ -> ());
+  let bytes = 0 in
+  let plan = all_reduce ~group ~bytes in
+  let state = Hashtbl.create 16 in
+  List.iter (fun (c, v) -> Hashtbl.replace state c (Array.copy v)) vals;
+  List.iteri
+    (fun phase step ->
+      (* Phase 0 is the reduce (receivers accumulate); phase 1 the
+         broadcast (receivers overwrite). *)
+      let incoming = Hashtbl.create 16 in
+      List.iter
+        (fun { src; dst; _ } ->
+          let v = try Hashtbl.find state src with Not_found ->
+            invalid_arg "Schedule.run_all_reduce: chip without value"
+          in
+          Hashtbl.add incoming dst (Array.copy v))
+        step;
+      Hashtbl.iter
+        (fun dst v ->
+          match phase with
+          | 0 ->
+            let cur = Hashtbl.find state dst in
+            Array.iteri (fun i x -> cur.(i) <- cur.(i) +. x) v
+          | _ -> Hashtbl.replace state dst v)
+        incoming)
+    plan;
+  List.map (fun (c, _) -> (c, Hashtbl.find state c)) vals

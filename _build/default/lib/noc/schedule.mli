@@ -1,0 +1,62 @@
+(** Explicit collective schedules: who sends what to whom, when.
+
+    {!Collective} gives closed-form latencies; this module materializes
+    the underlying step-by-step transfer plans so they can be checked
+    against the fabric (every transfer must ride an existing row/column
+    link; port limits respected) and executed on values (the reduction a
+    plan computes must equal the mathematical collective).
+
+    Conventions match the Interconnect Engine model: each chip owns one
+    transmit and one receive port per *link* (parallel-link engine), so a
+    star reduce completes in one step (the root merges incoming streams),
+    an all-reduce is reduce-then-broadcast (2 steps), the ring all-gather
+    takes group-1 steps, and the 16-chip all-reduce is hierarchical
+    (column phase then row phase, 4 steps). *)
+
+type transfer = { src : Topology.chip; dst : Topology.chip; bytes : int }
+
+type step = transfer list
+(** Transfers within a step run in parallel. *)
+
+type t = step list
+
+val reduce : root:Topology.chip -> group:Topology.chip list -> bytes:int -> t
+
+val broadcast : root:Topology.chip -> group:Topology.chip list -> bytes:int -> t
+
+val all_reduce : group:Topology.chip list -> bytes:int -> t
+(** Reduce to the lowest chip, then broadcast. *)
+
+val all_gather : group:Topology.chip list -> shard_bytes:int -> t
+(** Ring over the group in ascending-id order. *)
+
+val scatter : root:Topology.chip -> group:Topology.chip list -> shard_bytes:int -> t
+
+val all_chip_all_reduce : bytes:int -> t
+(** Column all-reduces (all four columns concurrently), then row
+    all-reduces. *)
+
+(** {1 Validation} *)
+
+type violation =
+  | Not_a_link of Topology.chip * Topology.chip
+  | Tx_conflict of Topology.chip  (** Two same-step transfers on one TX port
+                                      toward the same peer. *)
+  | Rx_overmerge of Topology.chip  (** More simultaneous incoming streams
+                                       than the engine merges (degree). *)
+
+val validate : t -> violation list
+(** Empty = the plan is executable on the 4x4 row/column fabric. *)
+
+val makespan : ?link:Link.t -> t -> float
+(** Sum over steps of the slowest transfer (plus per-step engine
+    overheads), zero for an empty plan. *)
+
+val transfer_count : t -> int
+
+(** {1 Execution on values} *)
+
+val run_all_reduce : group:Topology.chip list -> Collective.valued -> Collective.valued
+(** Execute the {!all_reduce} plan transfer by transfer on real vectors
+    (merging at receivers) and return the per-chip results — must equal
+    {!Collective.all_reduce} (tested). *)

@@ -1,0 +1,57 @@
+type chip = int
+
+let rows = 4
+let cols = 4
+let chips = rows * cols
+
+let valid c = c >= 0 && c < chips
+
+let check c = if not (valid c) then invalid_arg "Topology: invalid chip id"
+
+let row_of c =
+  check c;
+  c / cols
+
+let col_of c =
+  check c;
+  c mod cols
+
+let chip_at ~row ~col =
+  if row < 0 || row >= rows || col < 0 || col >= cols then
+    invalid_arg "Topology.chip_at";
+  (row * cols) + col
+
+let row_group r =
+  if r < 0 || r >= rows then invalid_arg "Topology.row_group";
+  List.init cols (fun c -> chip_at ~row:r ~col:c)
+
+let col_group c =
+  if c < 0 || c >= cols then invalid_arg "Topology.col_group";
+  List.init rows (fun r -> chip_at ~row:r ~col:c)
+
+let row_peers c = List.filter (fun x -> x <> c) (row_group (row_of c))
+
+let col_peers c = List.filter (fun x -> x <> c) (col_group (col_of c))
+
+let connected a b =
+  check a;
+  check b;
+  a <> b && (row_of a = row_of b || col_of a = col_of b)
+
+let all_chips = List.init chips Fun.id
+
+let links () =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b -> if a < b && connected a b then Some (a, b) else None)
+        all_chips)
+    all_chips
+
+let degree c =
+  check c;
+  List.length (row_peers c) + List.length (col_peers c)
+
+let kv_owner ~seq_pos ~col =
+  if seq_pos < 0 then invalid_arg "Topology.kv_owner: negative position";
+  chip_at ~row:(seq_pos mod rows) ~col

@@ -1,0 +1,46 @@
+(** The HNLPU interconnect topology (paper §4.2, Figure 9a): 16 compute
+    modules in a logical 4x4 grid with direct point-to-point links to every
+    other module in the same row and in the same column — a router-less
+    fabric for row/column collectives.
+
+    Chips are numbered 0..15; chip [id] sits at row [id / 4], column
+    [id mod 4]. *)
+
+type chip = int
+
+val rows : int
+val cols : int
+val chips : int
+
+val valid : chip -> bool
+
+val row_of : chip -> int
+val col_of : chip -> int
+val chip_at : row:int -> col:int -> chip
+
+val row_peers : chip -> chip list
+(** The 3 other chips in the same row, ascending. *)
+
+val col_peers : chip -> chip list
+
+val row_group : int -> chip list
+(** All 4 chips of a row, ascending. *)
+
+val col_group : int -> chip list
+
+val connected : chip -> chip -> bool
+(** Direct link exists: same row or same column (and distinct). *)
+
+val links : unit -> (chip * chip) list
+(** All undirected links, each once with the lower id first — 48 links:
+    4 rows x C(4,2) + 4 cols x C(4,2). *)
+
+val degree : chip -> int
+(** Direct neighbours per chip: 6. *)
+
+val all_chips : chip list
+
+val kv_owner : seq_pos:int -> col:int -> chip
+(** The paper's KV interleaving: the key/value for sequence position [l]
+    within column group [col] lives on chip [l mod 4] of that column
+    (§4.2 "reduced to the chip-(l mod 4)"). *)

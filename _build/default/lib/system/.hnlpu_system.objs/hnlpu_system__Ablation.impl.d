@@ -1,0 +1,1 @@
+lib/system/ablation.ml: Array Config Hnlpu_chip Hnlpu_gates Hnlpu_litho Hnlpu_model Hnlpu_noc Hnlpu_util Link List Perf Topology

@@ -1,0 +1,1 @@
+lib/system/ablation.mli: Hnlpu_gates Hnlpu_model Hnlpu_noc Hnlpu_util

@@ -1,0 +1,1 @@
+lib/system/dataflow.ml: Array Collective Config Float Hnlpu_model Hnlpu_noc Hnlpu_tensor List Mapping Mat Rope Topology Vec Weights

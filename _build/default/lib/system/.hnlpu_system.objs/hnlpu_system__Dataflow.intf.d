@@ -1,0 +1,1 @@
+lib/system/dataflow.mli: Hnlpu_model Hnlpu_noc Hnlpu_tensor

@@ -1,0 +1,1 @@
+lib/system/mapping.ml: Config Fun Hnlpu_model Hnlpu_noc Hnlpu_tensor List Params Topology

@@ -1,0 +1,1 @@
+lib/system/mapping.mli: Hnlpu_model Hnlpu_noc Hnlpu_tensor

@@ -1,0 +1,1 @@
+lib/system/multi_node.ml: Array Float List Scheduler

@@ -1,0 +1,1 @@
+lib/system/multi_node.mli: Hnlpu_gates Hnlpu_model Scheduler

@@ -1,0 +1,1 @@
+lib/system/perf.ml: Attention_buffer Config Control_unit Hbm Hn_array Hnlpu_chip Hnlpu_gates Hnlpu_model Hnlpu_noc Link List Vex

@@ -1,0 +1,1 @@
+lib/system/perf.mli: Hnlpu_gates Hnlpu_model Hnlpu_noc

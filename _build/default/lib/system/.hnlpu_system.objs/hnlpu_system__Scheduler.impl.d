@@ -1,0 +1,1 @@
+lib/system/scheduler.ml: Hashtbl Heap Hnlpu_util List Perf Queue Rng

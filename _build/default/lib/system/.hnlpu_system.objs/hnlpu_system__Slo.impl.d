@@ -1,0 +1,1 @@
+lib/system/slo.ml: Array Hnlpu_util List Perf Rng Scheduler Stats

@@ -1,0 +1,1 @@
+lib/system/slo.mli: Hnlpu_model

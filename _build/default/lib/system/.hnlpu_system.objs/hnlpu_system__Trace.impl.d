@@ -1,0 +1,1 @@
+lib/system/trace.ml: Array Config Float Hnlpu_gates Hnlpu_model List Perf Printf

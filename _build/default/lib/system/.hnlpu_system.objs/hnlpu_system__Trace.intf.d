@@ -1,0 +1,1 @@
+lib/system/trace.mli: Hnlpu_gates Hnlpu_model

@@ -1,0 +1,1 @@
+lib/system/traffic.ml: Config Float Hnlpu_model Hnlpu_noc Hnlpu_util Link List Perf Printf Schedule Topology

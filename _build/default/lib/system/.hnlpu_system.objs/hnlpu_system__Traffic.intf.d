@@ -1,0 +1,1 @@
+lib/system/traffic.mli: Hnlpu_gates Hnlpu_model Hnlpu_util

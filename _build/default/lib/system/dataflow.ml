@@ -1,0 +1,245 @@
+open Hnlpu_tensor
+open Hnlpu_model
+open Hnlpu_noc
+
+type chip_layer_weights = {
+  wq : Mat.t;
+  wk : Mat.t;
+  wv : Mat.t;
+  wo : Mat.t;
+  router : Mat.t option;  (** Replicated. *)
+  experts : (int * Weights.expert) list;  (** Resident experts. *)
+}
+
+type kv_entry = { pos : int; k : Vec.t; v : Vec.t }
+(** One cached position of a column's KV heads (width kv_dim / 4). *)
+
+type collective_counts = {
+  col_all_reduce : int;
+  row_all_reduce : int;
+  col_all_gather : int;
+  all_chip_all_reduce : int;
+}
+
+type t = {
+  weights : Weights.t;
+  config : Config.t;
+  chip_weights : chip_layer_weights array array;  (** [layer].[chip] *)
+  kv : kv_entry list ref array array;  (** [layer].[chip], reverse order *)
+  mutable pos : int;
+  mutable counts : collective_counts;
+}
+
+let create (w : Weights.t) =
+  let c = w.Weights.config in
+  Mapping.check_mappable c;
+  let slice_layer (l : Weights.layer) chip =
+    {
+      wq = Mapping.extract l.Weights.wq (Mapping.wq_slice c ~chip);
+      wk = Mapping.extract l.Weights.wk (Mapping.wk_slice c ~chip);
+      wv = Mapping.extract l.Weights.wv (Mapping.wv_slice c ~chip);
+      wo = Mapping.extract l.Weights.wo (Mapping.wo_slice c ~chip);
+      router = l.Weights.w_router;
+      experts =
+        List.map
+          (fun e -> (e, l.Weights.experts.(e)))
+          (Mapping.experts_of_chip c ~chip);
+    }
+  in
+  {
+    weights = w;
+    config = c;
+    chip_weights =
+      Array.map
+        (fun l -> Array.of_list (List.map (slice_layer l) Topology.all_chips))
+        w.Weights.layers;
+    kv =
+      Array.init c.Config.num_layers (fun _ ->
+          Array.init Topology.chips (fun _ -> ref []));
+    pos = 0;
+    counts =
+      { col_all_reduce = 0; row_all_reduce = 0; col_all_gather = 0;
+        all_chip_all_reduce = 0 };
+  }
+
+let position t = t.pos
+
+let collectives t = t.counts
+
+let kv_positions_on_chip t ~chip ~layer = List.length !(t.kv.(layer).(chip))
+
+let bump_col t = t.counts <- { t.counts with col_all_reduce = t.counts.col_all_reduce + 1 }
+let bump_row t = t.counts <- { t.counts with row_all_reduce = t.counts.row_all_reduce + 1 }
+let bump_gather t = t.counts <- { t.counts with col_all_gather = t.counts.col_all_gather + 1 }
+let bump_all t =
+  t.counts <- { t.counts with all_chip_all_reduce = t.counts.all_chip_all_reduce + 1 }
+
+(* Column all-reduce of per-chip partial vectors: every chip of the column
+   ends with the sum.  Returns the (identical) result. *)
+let col_all_reduce t ~col partials =
+  bump_col t;
+  let group = Topology.col_group col in
+  let vals = List.map2 (fun chip v -> (chip, v)) group partials in
+  Collective.sum vals
+
+(* The GQA attention of one column for one token, over the column's
+   striped KV cache (Figure 10-IV/V).  [q_col] holds the column's
+   q_heads/4 query heads; each chip contributes statistics over its own
+   positions, combined exactly as the VEX units would after the
+   column-wise exchange. *)
+let column_attention t ~layer ~col q_col =
+  let c = t.config in
+  let d = c.Config.head_dim in
+  let scale = 1.0 /. sqrt (float_of_int d) in
+  (* Sliding-window layers only attend over the last [w] positions; the
+     striped caches filter by absolute position. *)
+  let first_pos =
+    match Config.layer_window c ~layer with
+    | None -> 0
+    | Some w -> max 0 (t.pos + 1 - w)
+  in
+  let q_heads_per_col = c.Config.q_heads / 4 in
+  let group = Topology.col_group col in
+  let out = Array.make (q_heads_per_col * d) 0.0 in
+  for hq = 0 to q_heads_per_col - 1 do
+    let qh = Array.sub q_col (hq * d) d in
+    (* Local KV head index within the column's slice. *)
+    let kv_local = hq / Config.gqa_group c in
+    (* Per-chip partial statistics: (max, sum, weighted value). *)
+    let stats =
+      List.map
+        (fun chip ->
+          let entries = List.rev !(t.kv.(layer).(chip)) in
+          let m = ref neg_infinity and z = ref 0.0 in
+          let acc = Array.make d 0.0 in
+          List.iter
+            (fun { pos; k; v } ->
+              if pos >= first_pos then begin
+              let ks = Array.sub k (kv_local * d) d in
+              let vs = Array.sub v (kv_local * d) d in
+              let s = Vec.dot qh ks *. scale in
+              let m' = Float.max !m s in
+              let corr = exp (!m -. m') in
+              let w = exp (s -. m') in
+              for i = 0 to d - 1 do
+                acc.(i) <- (acc.(i) *. corr) +. (w *. vs.(i))
+              done;
+              z := (!z *. corr) +. w;
+              m := m'
+              end)
+            entries;
+          (!m, !z, acc))
+        group
+    in
+    (* Column-wise exchange and exact combination of the partials. *)
+    bump_col t;
+    let global_m =
+      List.fold_left (fun acc (m, _, _) -> Float.max acc m) neg_infinity stats
+    in
+    let z = ref 0.0 in
+    let acc = Array.make d 0.0 in
+    List.iter
+      (fun (m, zi, oi) ->
+        if zi > 0.0 then begin
+          let corr = exp (m -. global_m) in
+          z := !z +. (zi *. corr);
+          for i = 0 to d - 1 do
+            acc.(i) <- acc.(i) +. (oi.(i) *. corr)
+          done
+        end)
+      stats;
+    for i = 0 to d - 1 do
+      out.((hq * d) + i) <- acc.(i) /. !z
+    done
+  done;
+  out
+
+let layer_forward t ~layer x =
+  let c = t.config in
+  let lw = t.chip_weights.(layer) in
+  let d = c.Config.head_dim in
+  (* Attention block: RMSNorm is replicated on every chip. *)
+  let gains = t.weights.Weights.layers.(layer) in
+  let x_norm = Vec.rmsnorm ~gain:gains.Weights.attn_norm x in
+  (* Per-column QKV via per-chip partial products + column all-reduce. *)
+  let per_col =
+    List.init 4 (fun col ->
+        let group = Topology.col_group col in
+        let partial proj chip =
+          let lo, len = Mapping.x_slice c ~chip in
+          Mat.gemv (proj lw.(chip)) (Array.sub x_norm lo len)
+        in
+        let q = col_all_reduce t ~col (List.map (partial (fun w -> w.wq)) group) in
+        let k = col_all_reduce t ~col (List.map (partial (fun w -> w.wk)) group) in
+        let v = col_all_reduce t ~col (List.map (partial (fun w -> w.wv)) group) in
+        let q = Rope.apply_heads ~head_dim:d ~pos:t.pos q in
+        let k = Rope.apply_heads ~head_dim:d ~pos:t.pos k in
+        (* Store the new KV on chip (pos mod 4) of this column. *)
+        let owner = Topology.kv_owner ~seq_pos:t.pos ~col in
+        t.kv.(layer).(owner) := { pos = t.pos; k; v } :: !(t.kv.(layer).(owner));
+        (q, k, v))
+  in
+  (* Column-local attention. *)
+  let attn_cols =
+    List.mapi (fun col (q, _, _) -> column_attention t ~layer ~col q) per_col
+  in
+  (* Output projection: per-chip partials, row all-reduce, column
+     all-gather (Figure 10-VI). *)
+  let xo_slices =
+    List.init 4 (fun r ->
+        (* Row r accumulates output slice r over the four columns. *)
+        let partials =
+          List.mapi
+            (fun col attn ->
+              let chip = Topology.chip_at ~row:r ~col in
+              (chip, Mat.gemv lw.(chip).wo attn))
+            attn_cols
+        in
+        bump_row t;
+        Collective.sum partials)
+  in
+  bump_gather t;
+  let xo = Array.concat xo_slices in
+  let x = Vec.add x xo in
+  (* FFN with MoE (Figure 10-VII..IX). *)
+  let x_norm2 = Vec.rmsnorm ~gain:gains.Weights.ffn_norm x in
+  let y =
+    match lw.(0).router with
+    | None ->
+      (* Dense FFN: the single "expert" is replicated like the router. *)
+      let e = t.weights.Weights.layers.(layer).Weights.experts.(0) in
+      let gate = Mat.gemv e.Weights.w_gate x_norm2 in
+      let up = Mat.gemv e.Weights.w_up x_norm2 in
+      Mat.gemv e.Weights.w_down (Vec.swiglu ~gate ~up)
+    | Some router ->
+      let scores = Mat.gemv router x_norm2 in
+      let top = Vec.top_k c.Config.experts_per_token scores in
+      let probs = Vec.softmax (Array.of_list (List.map snd top)) in
+      (* Each selected expert computes locally on its resident chip; the
+         weighted partials meet in an all-chip all-reduce. *)
+      let partials =
+        List.mapi
+          (fun rank (e, _) ->
+            let chip = Mapping.chip_of_expert c ~expert:e in
+            let ew = List.assoc e lw.(chip).experts in
+            let gate = Mat.gemv ew.Weights.w_gate x_norm2 in
+            let up = Mat.gemv ew.Weights.w_up x_norm2 in
+            Vec.scale probs.(rank) (Mat.gemv ew.Weights.w_down (Vec.swiglu ~gate ~up)))
+          top
+      in
+      bump_all t;
+      List.fold_left Vec.add (Vec.zeros c.Config.hidden) partials
+  in
+  Vec.add x y
+
+let forward t ~token =
+  let c = t.config in
+  if token < 0 || token >= c.Config.vocab then
+    invalid_arg "Dataflow.forward: token out of vocabulary";
+  let x = ref (Mat.row t.weights.Weights.embedding token) in
+  for layer = 0 to c.Config.num_layers - 1 do
+    x := layer_forward t ~layer !x
+  done;
+  t.pos <- t.pos + 1;
+  let final = Vec.rmsnorm ~gain:t.weights.Weights.final_norm !x in
+  Mat.gemv t.weights.Weights.unembedding final

@@ -1,0 +1,61 @@
+open Hnlpu_model
+open Hnlpu_noc
+
+type slice = { row_lo : int; row_len : int; col_lo : int; col_len : int }
+
+let grid = Topology.rows (* = cols = 4 *)
+
+let check_mappable (c : Config.t) =
+  Config.validate c;
+  if c.Config.total_params_override <> None then
+    invalid_arg "Mapping: external (footprint-only) model";
+  let fail what = invalid_arg ("Mapping: " ^ what ^ " not divisible for the 4x4 grid") in
+  if c.Config.hidden mod grid <> 0 then fail "hidden";
+  if Config.q_dim c mod grid <> 0 then fail "q_dim";
+  if Config.kv_dim c mod grid <> 0 then fail "kv_dim";
+  if c.Config.experts > 0 && c.Config.experts mod Topology.chips <> 0 then
+    fail "experts"
+
+let qkv_slice out_dim (c : Config.t) ~chip =
+  let r = Topology.row_of chip and col = Topology.col_of chip in
+  let row_len = c.Config.hidden / grid in
+  let col_len = out_dim / grid in
+  { row_lo = r * row_len; row_len; col_lo = col * col_len; col_len }
+
+let wq_slice c ~chip = qkv_slice (Config.q_dim c) c ~chip
+let wk_slice c ~chip = qkv_slice (Config.kv_dim c) c ~chip
+let wv_slice c ~chip = qkv_slice (Config.kv_dim c) c ~chip
+
+let wo_slice (c : Config.t) ~chip =
+  let r = Topology.row_of chip and col = Topology.col_of chip in
+  let row_len = Config.q_dim c / grid in
+  let col_len = c.Config.hidden / grid in
+  { row_lo = col * row_len; row_len; col_lo = r * col_len; col_len }
+
+let x_slice (c : Config.t) ~chip =
+  let r = Topology.row_of chip in
+  let len = c.Config.hidden / grid in
+  (r * len, len)
+
+let experts_of_chip (c : Config.t) ~chip =
+  if not (Topology.valid chip) then invalid_arg "Mapping.experts_of_chip";
+  List.filter (fun e -> e mod Topology.chips = chip) (List.init c.Config.experts Fun.id)
+
+let chip_of_expert (c : Config.t) ~expert =
+  if expert < 0 || expert >= c.Config.experts then
+    invalid_arg "Mapping.chip_of_expert";
+  expert mod Topology.chips
+
+let weights_per_chip_per_layer (c : Config.t) ~chip =
+  let area s = s.row_len * s.col_len in
+  let router = Params.router_per_layer c (* replicated *) in
+  let experts =
+    List.length (experts_of_chip c ~chip) * 3 * c.Config.hidden * c.Config.expert_hidden
+  in
+  area (wq_slice c ~chip) + area (wk_slice c ~chip) + area (wv_slice c ~chip)
+  + area (wo_slice c ~chip) + router + experts
+
+let extract m s =
+  Hnlpu_tensor.Mat.sub_cols
+    (Hnlpu_tensor.Mat.sub_rows m ~lo:s.row_lo ~len:s.row_len)
+    ~lo:s.col_lo ~len:s.col_len

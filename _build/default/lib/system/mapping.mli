@@ -1,0 +1,42 @@
+(** Model-to-chip mapping (paper §4.2 and Appendix A).
+
+    The 4x4 grid partitions each layer as follows (chip (r, c) at row [r],
+    column [c]):
+
+    - Wq/Wk/Wv are column-partitioned across column groups (column [c]
+      owns output columns [c * q_dim/4 ..]), and row-partitioned within a
+      column (chip row [r] owns input rows [r * hidden/4 ..]) — each chip
+      holds a (hidden/4, q_dim/4) slice of Wq.
+    - Wo is the transpose arrangement: column [c] owns *input* rows
+      [c * q_dim/4 ..], chip row [r] owns output columns [r * hidden/4 ..].
+    - The router is replicated on all 16 chips.
+    - Experts are distributed round-robin: expert [e] lives on chip
+      [e mod 16] (8 experts per chip for gpt-oss's 128).
+    - KV cache: position [l] of column [c]'s heads lives on chip
+      [(l mod 4, c)]. *)
+
+type slice = { row_lo : int; row_len : int; col_lo : int; col_len : int }
+
+val check_mappable : Hnlpu_model.Config.t -> unit
+(** Raises [Invalid_argument] unless hidden, q_dim and kv_dim divide by 4
+    and experts divide evenly over 16 chips (or there are none). *)
+
+val wq_slice : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> slice
+val wk_slice : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> slice
+val wv_slice : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> slice
+val wo_slice : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> slice
+
+val x_slice : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> int * int
+(** (offset, length) of the activation slice chip (r, c) consumes for the
+    QKV projections: rows [r * hidden/4 ..]. *)
+
+val experts_of_chip : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> int list
+
+val chip_of_expert : Hnlpu_model.Config.t -> expert:int -> Hnlpu_noc.Topology.chip
+
+val weights_per_chip_per_layer : Hnlpu_model.Config.t -> chip:Hnlpu_noc.Topology.chip -> int
+(** Parameter count a chip hardwires for one layer — balanced across chips
+    by construction (the paper's workload-balance argument). *)
+
+val extract : Hnlpu_tensor.Mat.t -> slice -> Hnlpu_tensor.Mat.t
+(** Materialize a slice of a weight matrix. *)

@@ -1,0 +1,87 @@
+type policy = Round_robin | Least_loaded
+
+type node_stat = { node : int; requests : int; tokens : int; occupancy : float }
+
+type result = {
+  nodes : int;
+  total_tokens : int;
+  makespan_s : float;
+  aggregate_throughput_tokens_per_s : float;
+  per_node : node_stat list;
+  imbalance : float;
+}
+
+let request_tokens (r : Scheduler.request) =
+  r.Scheduler.prefill_tokens + r.Scheduler.decode_tokens
+
+let dispatch policy ~nodes requests =
+  let bins = Array.make nodes [] in
+  let load = Array.make nodes 0 in
+  List.iteri
+    (fun i r ->
+      let target =
+        match policy with
+        | Round_robin -> i mod nodes
+        | Least_loaded ->
+          let best = ref 0 in
+          for n = 1 to nodes - 1 do
+            if load.(n) < load.(!best) then best := n
+          done;
+          !best
+      in
+      bins.(target) <- r :: bins.(target);
+      load.(target) <- load.(target) + request_tokens r)
+    requests;
+  Array.map List.rev bins
+
+let simulate ?tech ?context ?(policy = Least_loaded) ~nodes config requests =
+  if nodes <= 0 then invalid_arg "Multi_node.simulate: nodes must be positive";
+  let bins = dispatch policy ~nodes requests in
+  let results =
+    Array.map
+      (fun reqs -> if reqs = [] then None else Some (Scheduler.simulate ?tech ?context config reqs))
+      bins
+  in
+  let per_node =
+    Array.to_list
+      (Array.mapi
+         (fun node r ->
+           match r with
+           | None -> { node; requests = 0; tokens = 0; occupancy = 0.0 }
+           | Some r ->
+             {
+               node;
+               requests = List.length bins.(node);
+               tokens = r.Scheduler.tokens_processed;
+               occupancy = r.Scheduler.mean_slot_occupancy;
+             })
+         results)
+  in
+  let total_tokens = List.fold_left (fun a s -> a + s.tokens) 0 per_node in
+  let makespan =
+    Array.fold_left
+      (fun acc r ->
+        match r with None -> acc | Some r -> Float.max acc r.Scheduler.makespan_s)
+      0.0 results
+  in
+  let mean_tokens = float_of_int total_tokens /. float_of_int nodes in
+  let max_tokens =
+    List.fold_left (fun a s -> max a s.tokens) 0 per_node |> float_of_int
+  in
+  {
+    nodes;
+    total_tokens;
+    makespan_s = makespan;
+    aggregate_throughput_tokens_per_s =
+      (if makespan > 0.0 then float_of_int total_tokens /. makespan else 0.0);
+    per_node;
+    imbalance = (if mean_tokens > 0.0 then max_tokens /. mean_tokens else 1.0);
+  }
+
+let scaling_efficiency ?policy ~nodes config requests =
+  if requests = [] then invalid_arg "Multi_node.scaling_efficiency: empty workload";
+  let multi = simulate ?policy ~nodes config requests in
+  let single = Scheduler.simulate config requests in
+  (* Speedup over one node, normalized by the fleet size. *)
+  let speedup = single.Scheduler.makespan_s /. multi.makespan_s in
+  speedup /. float_of_int nodes

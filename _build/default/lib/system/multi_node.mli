@@ -1,0 +1,44 @@
+(** Multi-node fleet simulation — the high-volume deployment of Table 3
+    (50 HNLPU systems) as an operational model, not just a cost column.
+
+    A front-end dispatcher spreads arriving requests over N independent
+    HNLPU nodes; each node runs its own continuous-batching pipeline
+    ({!Scheduler}).  Two policies:
+
+    - [Round_robin]: oblivious spreading;
+    - [Least_loaded]: join the node with the least outstanding work
+      (token-weighted), the standard serving-tier policy.
+
+    The interesting outputs are aggregate throughput (must scale ~linearly
+    — nodes share nothing, the paper's point about router-less modules)
+    and tail latency under imbalance. *)
+
+type policy = Round_robin | Least_loaded
+
+type node_stat = {
+  node : int;
+  requests : int;
+  tokens : int;
+  occupancy : float;
+}
+
+type result = {
+  nodes : int;
+  total_tokens : int;
+  makespan_s : float;
+  aggregate_throughput_tokens_per_s : float;
+  per_node : node_stat list;
+  imbalance : float;
+      (** max node tokens / mean node tokens; 1.0 = perfectly even. *)
+}
+
+val simulate :
+  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?policy:policy ->
+  nodes:int -> Hnlpu_model.Config.t -> Scheduler.request list -> result
+
+val scaling_efficiency :
+  ?policy:policy -> nodes:int -> Hnlpu_model.Config.t ->
+  Scheduler.request list -> float
+(** Makespan speedup over a single node, normalized by the fleet size —
+    ~1.0 for a saturating workload under balanced dispatch (shared-nothing
+    nodes scale linearly). *)

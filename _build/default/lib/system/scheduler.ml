@@ -1,0 +1,215 @@
+open Hnlpu_util
+
+type request = { arrival_s : float; prefill_tokens : int; decode_tokens : int }
+
+type completed = {
+  request : request;
+  first_token_s : float;
+  finish_s : float;
+  queue_wait_s : float;
+}
+
+type result = {
+  completed_requests : completed list;
+  makespan_s : float;
+  tokens_processed : int;
+  decode_tokens_out : int;
+  throughput_tokens_per_s : float;
+  mean_slot_occupancy : float;
+}
+
+let workload rng ~n ~rate_per_s ~mean_prefill ~mean_decode =
+  if n <= 0 then invalid_arg "Scheduler.workload: n must be positive";
+  if mean_prefill <= 0 || mean_decode <= 0 then
+    invalid_arg "Scheduler.workload: token means must be positive";
+  let t = ref 0.0 in
+  List.init n (fun _ ->
+      t := !t +. Rng.exponential rng rate_per_s;
+      let draw mean = 1 + int_of_float (Rng.exponential rng (1.0 /. float_of_int mean)) in
+      { arrival_s = !t; prefill_tokens = draw mean_prefill; decode_tokens = draw mean_decode })
+
+type seq = {
+  req : request;
+  id : int;
+  mutable prefill_remaining : int;
+  mutable prefill_inflight : int;
+  mutable decode_remaining : int;
+  mutable position : int;                 (** Tokens consumed so far. *)
+  mutable injected_first : float option;  (** First injection time. *)
+  mutable first_token : float option;     (** First decode completion. *)
+}
+
+type token_kind = Prefill | Decode
+
+type event = Arrival of seq | Complete of seq * token_kind | Wakeup
+
+let saturated_throughput ?tech ?(context = 2048) config =
+  Perf.throughput_tokens_per_s ?tech config ~context
+
+let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = [])
+    config requests =
+  let latency = Perf.token_latency_s ?tech config ~context in
+  (* Context-aware latency, bucketed at powers of two and memoized. *)
+  let bucket_cache = Hashtbl.create 16 in
+  let latency_at position =
+    if not context_aware then latency
+    else begin
+      let rec bucket b = if b >= max 2048 position then b else bucket (2 * b) in
+      let b = bucket 2048 in
+      match Hashtbl.find_opt bucket_cache b with
+      | Some l -> l
+      | None ->
+        let l = Perf.token_latency_s ?tech config ~context:b in
+        Hashtbl.add bucket_cache b l;
+        l
+    end
+  in
+  let slots = Perf.pipeline_slots config in
+  List.iter
+    (fun (t, n) ->
+      if t < 0.0 || n < 0 then invalid_arg "Scheduler.simulate: bad failure")
+    slot_failures;
+  let capacity_at now =
+    let lost =
+      List.fold_left
+        (fun acc (t, n) -> if t <= now then acc + n else acc)
+        0 slot_failures
+    in
+    max 0 (slots - lost)
+  in
+  let ii = latency /. float_of_int slots in
+  let events : event Heap.t = Heap.create () in
+  List.iteri
+    (fun id r ->
+      if r.arrival_s < 0.0 || r.prefill_tokens < 1 || r.decode_tokens < 1 then
+        invalid_arg "Scheduler.simulate: malformed request";
+      Heap.push events ~priority:r.arrival_s
+        (Arrival
+           {
+             req = r;
+             id;
+             prefill_remaining = r.prefill_tokens;
+             prefill_inflight = 0;
+             decode_remaining = r.decode_tokens;
+             position = 0;
+             injected_first = None;
+             first_token = None;
+           }))
+    requests;
+  List.iter
+    (fun (t, _) -> Heap.push events ~priority:t Wakeup)
+    slot_failures;
+  let decode_queue : seq Queue.t = Queue.create () in
+  let prefill_queue : seq Queue.t = Queue.create () in
+  let busy = ref 0 in
+  let next_inject = ref 0.0 in
+  let completed = ref [] in
+  let tokens = ref 0 and decode_tokens_out = ref 0 in
+  let occupancy = ref 0.0 and last_time = ref 0.0 and makespan = ref 0.0 in
+  let advance_clock t =
+    occupancy := !occupancy +. (float_of_int !busy *. (t -. !last_time));
+    last_time := t
+  in
+  let try_inject now =
+    let injected_wakeup = ref false in
+    let capacity = capacity_at now in
+    let rec go () =
+      if !busy < capacity then begin
+        let next =
+          if not (Queue.is_empty decode_queue) then Some (Queue.pop decode_queue, Decode)
+          else begin
+            match Queue.peek_opt prefill_queue with
+            | Some s ->
+              Queue.pop prefill_queue |> ignore;
+              Some (s, Prefill)
+            | None -> None
+          end
+        in
+        match next with
+        | None -> ()
+        | Some (s, kind) ->
+          if !next_inject > now then begin
+            (* Pipeline entry busy: requeue and wake up at the slot time. *)
+            (match kind with
+            | Decode -> Queue.push s decode_queue
+            | Prefill -> Queue.push s prefill_queue);
+            if not !injected_wakeup then begin
+              Heap.push events ~priority:!next_inject Wakeup;
+              injected_wakeup := true
+            end
+          end
+          else begin
+            (match s.injected_first with
+            | None -> s.injected_first <- Some now
+            | Some _ -> ());
+            (match kind with
+            | Prefill ->
+              s.prefill_remaining <- s.prefill_remaining - 1;
+              s.prefill_inflight <- s.prefill_inflight + 1;
+              (* More prefill tokens of this sequence stay in the queue. *)
+              if s.prefill_remaining > 0 then Queue.push s prefill_queue
+            | Decode -> ());
+            incr busy;
+            next_inject := now +. ii;
+            s.position <- s.position + 1;
+            Heap.push events
+              ~priority:(now +. latency_at s.position)
+              (Complete (s, kind));
+            go ()
+          end
+      end
+    in
+    go ()
+  in
+  let rec loop () =
+    match Heap.pop events with
+    | None -> ()
+    | Some (t, ev) ->
+      advance_clock t;
+      (match ev with
+      | Wakeup -> try_inject t
+      | Arrival s ->
+        Queue.push s prefill_queue;
+        try_inject t
+      | Complete (s, kind) ->
+        decr busy;
+        incr tokens;
+        makespan := t;
+        (match kind with
+        | Prefill ->
+          s.prefill_inflight <- s.prefill_inflight - 1;
+          if s.prefill_remaining = 0 && s.prefill_inflight = 0 then
+            Queue.push s decode_queue
+        | Decode ->
+          incr decode_tokens_out;
+          if s.first_token = None then s.first_token <- Some t;
+          s.decode_remaining <- s.decode_remaining - 1;
+          if s.decode_remaining > 0 then Queue.push s decode_queue
+          else begin
+            let injected =
+              match s.injected_first with Some x -> x | None -> s.req.arrival_s
+            in
+            completed :=
+              {
+                request = s.req;
+                first_token_s = (match s.first_token with Some x -> x | None -> t);
+                finish_s = t;
+                queue_wait_s = injected -. s.req.arrival_s;
+              }
+              :: !completed
+          end);
+        try_inject t);
+      loop ()
+  in
+  loop ();
+  let makespan = !makespan in
+  {
+    completed_requests = List.rev !completed;
+    makespan_s = makespan;
+    tokens_processed = !tokens;
+    decode_tokens_out = !decode_tokens_out;
+    throughput_tokens_per_s =
+      (if makespan > 0.0 then float_of_int !tokens /. makespan else 0.0);
+    mean_slot_occupancy =
+      (if makespan > 0.0 then !occupancy /. (makespan *. float_of_int slots) else 0.0);
+  }

@@ -1,0 +1,69 @@
+(** Continuous-batching scheduler simulation (paper §5.2).
+
+    HNLPU exposes [6 x layers] pipeline slots (216 for gpt-oss 120B).  A
+    request with P prompt tokens and D decode tokens proceeds:
+
+    - {b prefill}: its P tokens are mutually independent, so each occupies
+      its own slot and they flow through the pipeline concurrently, limited
+      only by free slots and the pipeline initiation interval;
+    - {b decode}: autoregressive — one slot, one token in flight at a time,
+      a new token starting as the previous completes.
+
+    As slots free up, waiting work is admitted immediately ("dynamically
+    schedules new sequences into the batch as soon as slots are freed") —
+    prefill backlog first (it parallelizes), then new sequences.
+
+    The simulator is event-driven over continuous time with per-token
+    latency and initiation interval taken from {!Perf}; it reports
+    throughput, time-to-first-token and per-request latency statistics. *)
+
+type request = {
+  arrival_s : float;
+  prefill_tokens : int;
+  decode_tokens : int;
+}
+
+type completed = {
+  request : request;
+  first_token_s : float;   (** Completion of the first decoded token. *)
+  finish_s : float;
+  queue_wait_s : float;    (** Arrival to first prefill-token injection. *)
+}
+
+type result = {
+  completed_requests : completed list;
+  makespan_s : float;
+  tokens_processed : int;      (** Prefill + decode tokens. *)
+  decode_tokens_out : int;
+  throughput_tokens_per_s : float;
+  mean_slot_occupancy : float; (** Time-averaged busy slots / total slots. *)
+}
+
+val workload :
+  Hnlpu_util.Rng.t -> n:int -> rate_per_s:float -> mean_prefill:int ->
+  mean_decode:int -> request list
+(** Poisson arrivals with geometric-ish token counts (at least 1 each). *)
+
+val simulate :
+  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?context_aware:bool ->
+  ?slot_failures:(float * int) list -> Hnlpu_model.Config.t ->
+  request list -> result
+(** Run to completion of all requests.  [context] sets the per-token
+    latency operating point (default 2048).
+
+    [context_aware] (default false) makes each token's latency depend on
+    its sequence's current length instead of the fixed operating point —
+    attention time grows as the KV cache fills (Figure 14's x-axis), so
+    long conversations decode measurably slower.  Latencies are bucketed
+    at powers of two and cached.
+
+    [slot_failures] injects capacity loss: at each (time, n) the pipeline
+    permanently loses [n] slots — the fault model behind the paper's
+    spare-node maintenance provisioning (§8 "Yield and Fault Tolerance",
+    Appendix B note 7).  In-flight tokens complete; admission shrinks.
+    Throughput degrades proportionally and no request is lost. *)
+
+val saturated_throughput :
+  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> Hnlpu_model.Config.t -> float
+(** Closed-loop upper bound [slots / token_latency] — must agree with
+    {!Perf.throughput_tokens_per_s}. *)

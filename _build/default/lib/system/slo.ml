@@ -1,0 +1,71 @@
+open Hnlpu_util
+
+type objectives = { ttft_p95_s : float; e2e_p95_s : float }
+
+let interactive = { ttft_p95_s = 0.2; e2e_p95_s = 30.0 }
+
+type evaluation = {
+  rate_per_s : float;
+  throughput_tokens_per_s : float;
+  ttft_p95 : float;
+  e2e_p95 : float;
+  occupancy : float;
+  meets : bool;
+}
+
+let evaluate ?(seed = 1234) ?(requests = 150) ?(mean_prefill = 256)
+    ?(mean_decode = 128) config obj ~rate_per_s =
+  if rate_per_s <= 0.0 then invalid_arg "Slo.evaluate: rate must be positive";
+  let rng = Rng.create seed in
+  let reqs =
+    Scheduler.workload rng ~n:requests ~rate_per_s ~mean_prefill ~mean_decode
+  in
+  let r = Scheduler.simulate config reqs in
+  let of_completed f =
+    Array.of_list (List.map f r.Scheduler.completed_requests)
+  in
+  let ttft =
+    of_completed (fun c ->
+        c.Scheduler.first_token_s -. c.Scheduler.request.Scheduler.arrival_s)
+  in
+  let e2e =
+    of_completed (fun c ->
+        c.Scheduler.finish_s -. c.Scheduler.request.Scheduler.arrival_s)
+  in
+  let ttft_p95 = Stats.percentile ttft 0.95 in
+  let e2e_p95 = Stats.percentile e2e 0.95 in
+  {
+    rate_per_s;
+    throughput_tokens_per_s = r.Scheduler.throughput_tokens_per_s;
+    ttft_p95;
+    e2e_p95;
+    occupancy = r.Scheduler.mean_slot_occupancy;
+    meets = ttft_p95 <= obj.ttft_p95_s && e2e_p95 <= obj.e2e_p95_s;
+  }
+
+let max_rate ?seed ?requests ?(mean_prefill = 256) ?(mean_decode = 128)
+    ?(tolerance = 0.05) config obj =
+  if tolerance <= 0.0 then invalid_arg "Slo.max_rate: tolerance must be positive";
+  let meets rate =
+    (evaluate ?seed ?requests ~mean_prefill ~mean_decode config obj ~rate_per_s:rate)
+      .meets
+  in
+  (* Upper bound: the token-throughput ceiling over the mean request size. *)
+  let ceiling =
+    Perf.throughput_tokens_per_s config ~context:2048
+    /. float_of_int (mean_prefill + mean_decode)
+  in
+  if not (meets 1.0) then 0.0
+  else begin
+    let lo = ref 1.0 and hi = ref (2.0 *. ceiling) in
+    (* Ensure the top is infeasible; if even 2x ceiling passes (tiny
+       workloads), report it. *)
+    if meets !hi then !hi
+    else begin
+      while (!hi -. !lo) /. !hi > tolerance do
+        let mid = sqrt (!lo *. !hi) in
+        if meets mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end

@@ -1,0 +1,36 @@
+(** Service-level-objective capacity planning on the continuous-batching
+    pipeline.
+
+    The paper argues a single HNLPU node replaces a mid-size GPU cluster
+    for serving; the operational question is how much *interactive* load
+    one node absorbs before latency objectives break.  This module answers
+    it by bisecting the offered rate over {!Scheduler} simulations. *)
+
+type objectives = {
+  ttft_p95_s : float;     (** Time-to-first-token 95th percentile. *)
+  e2e_p95_s : float;      (** Arrival-to-completion 95th percentile. *)
+}
+
+val interactive : objectives
+(** 200 ms TTFT, 30 s end-to-end — chat-grade targets. *)
+
+type evaluation = {
+  rate_per_s : float;
+  throughput_tokens_per_s : float;
+  ttft_p95 : float;
+  e2e_p95 : float;
+  occupancy : float;
+  meets : bool;
+}
+
+val evaluate :
+  ?seed:int -> ?requests:int -> ?mean_prefill:int -> ?mean_decode:int ->
+  Hnlpu_model.Config.t -> objectives -> rate_per_s:float -> evaluation
+(** One simulated operating point. *)
+
+val max_rate :
+  ?seed:int -> ?requests:int -> ?mean_prefill:int -> ?mean_decode:int ->
+  ?tolerance:float -> Hnlpu_model.Config.t -> objectives -> float
+(** Largest arrival rate (requests/s, within [tolerance] relative, default
+    5%) whose simulation meets the objectives.  Bisection between 1 and
+    an upper bound derived from the token-throughput ceiling. *)

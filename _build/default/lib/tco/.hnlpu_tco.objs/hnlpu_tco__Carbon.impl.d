@@ -1,0 +1,1 @@
+lib/tco/carbon.ml: Cost_breakdown Hnlpu_chip Hnlpu_model Hnlpu_system List Pricing Tco

@@ -1,0 +1,1 @@
+lib/tco/carbon.mli: Tco

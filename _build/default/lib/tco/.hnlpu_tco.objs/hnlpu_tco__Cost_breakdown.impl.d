@@ -1,0 +1,1 @@
+lib/tco/cost_breakdown.ml: Hnlpu_litho Hnlpu_noc Hnlpu_util List Mask_cost Pricing Printf Table Units

@@ -1,0 +1,1 @@
+lib/tco/cost_breakdown.mli: Hnlpu_util Pricing

@@ -1,0 +1,1 @@
+lib/tco/deployment.ml: Cost_breakdown Float Hnlpu_baseline Hnlpu_chip Hnlpu_model Hnlpu_system List Pricing Tco

@@ -1,0 +1,1 @@
+lib/tco/deployment.mli:

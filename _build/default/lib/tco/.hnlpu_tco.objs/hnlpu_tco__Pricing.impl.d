@@ -1,0 +1,1 @@
+lib/tco/pricing.ml: Hnlpu_gates Hnlpu_litho Tech Yield

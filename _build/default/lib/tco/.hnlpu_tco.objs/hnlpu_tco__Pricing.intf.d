@@ -1,0 +1,1 @@
+lib/tco/pricing.mli: Hnlpu_gates Hnlpu_litho

@@ -1,0 +1,1 @@
+lib/tco/sensitivity.ml: Cost_breakdown Float Hnlpu_chip Hnlpu_litho Hnlpu_util List Pricing Printf Tco

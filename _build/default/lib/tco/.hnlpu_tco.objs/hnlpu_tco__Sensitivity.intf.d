@@ -1,0 +1,1 @@
+lib/tco/sensitivity.mli: Hnlpu_util Tco

@@ -1,0 +1,1 @@
+lib/tco/tco.ml: Cost_breakdown Float Hnlpu_baseline Hnlpu_chip Hnlpu_util List Pricing Printf Table Units

@@ -1,0 +1,1 @@
+lib/tco/tco.mli: Hnlpu_util

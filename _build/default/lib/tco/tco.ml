@@ -1,0 +1,189 @@
+open Hnlpu_util
+
+type volume = Low | High
+
+let hnlpu_systems = function Low -> 1 | High -> 50
+
+let h100_gpus = function Low -> 2_000 | High -> 100_000
+
+let equivalence_gpus_per_hnlpu =
+  2.0e6 (* HNLPU tokens/s under the 1K/1K concurrency-50 workload *)
+  /. Hnlpu_baseline.H100.concurrent_tokens_per_s
+  |> Float.round
+
+type money = { lo : float; hi : float }
+
+type column = {
+  label : string;
+  units : int;
+  datacenter_power_mw : float;
+  node_price : money;
+  infrastructure : money;
+  total_capex : money;
+  respin : money;
+  electricity : money;
+  maintenance : money;
+  opex : money;
+  tco_static : money;
+  tco_dynamic : money;
+  emissions_static_t : float;
+  emissions_dynamic_t : float;
+}
+
+let constant x = { lo = x; hi = x }
+
+let of_bounds f = { lo = f Pricing.Optimistic; hi = f Pricing.Pessimistic }
+
+let plus a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let times k a = { lo = k *. a.lo; hi = k *. a.hi }
+
+let electricity_usd ~power_mw =
+  power_mw *. 1000.0 *. Pricing.lifetime_hours *. Pricing.electricity_usd_per_kwh
+
+let operational_tco2e ~power_mw =
+  power_mw *. 1000.0 *. Pricing.lifetime_hours *. Pricing.grid_kgco2e_per_kwh /. 1000.0
+
+let spare_nodes = function Low -> 1 | High -> 5
+
+let hnlpu_column volume =
+  let systems = hnlpu_systems volume in
+  let chips = systems * Cost_breakdown.chips_per_system in
+  let fp = Hnlpu_chip.Floorplan.table1 () in
+  let wall_w = Hnlpu_chip.Floorplan.system_power_w fp *. float_of_int systems in
+  let power_mw = wall_w *. Pricing.pue /. 1e6 in
+  let node_price = of_bounds (fun b -> Cost_breakdown.initial_build_usd b ~systems) in
+  let infrastructure =
+    constant
+      ((float_of_int chips *. Pricing.hnlpu_network_usd_per_chip)
+      +. (power_mw *. Pricing.facility_usd_per_mw))
+  in
+  let total_capex = plus node_price infrastructure in
+  let respin = of_bounds (fun b -> Cost_breakdown.respin_usd b ~systems) in
+  let electricity = constant (electricity_usd ~power_mw) in
+  let maintenance =
+    of_bounds (fun b ->
+        float_of_int (spare_nodes volume * Cost_breakdown.chips_per_system)
+        *. Pricing.recurring_per_chip_usd b)
+  in
+  let opex = plus electricity maintenance in
+  let tco_static = plus total_capex opex in
+  let tco_dynamic = plus tco_static (times 2.0 respin) in
+  (* Emissions: the paper's footprint counts the deployed modules plus one
+     module per spare node (Appendix B note 8). *)
+  let modules = chips + spare_nodes volume in
+  let embodied = float_of_int modules *. Pricing.embodied_kgco2e_per_module /. 1000.0 in
+  let respin_embodied =
+    2.0 *. float_of_int chips *. Pricing.embodied_kgco2e_per_module /. 1000.0
+  in
+  let op_t = operational_tco2e ~power_mw in
+  {
+    label = Printf.sprintf "HNLPU (%s volume)" (match volume with Low -> "low" | High -> "high");
+    units = systems;
+    datacenter_power_mw = power_mw;
+    node_price;
+    infrastructure;
+    total_capex;
+    respin;
+    electricity;
+    maintenance;
+    opex;
+    tco_static;
+    tco_dynamic;
+    emissions_static_t = embodied +. op_t;
+    emissions_dynamic_t = embodied +. respin_embodied +. op_t;
+  }
+
+let h100_column volume =
+  let gpus = h100_gpus volume in
+  let nodes = gpus / Hnlpu_baseline.H100.spec.Hnlpu_baseline.H100.gpus_per_node in
+  let wall_w =
+    float_of_int gpus *. Hnlpu_baseline.H100.spec.Hnlpu_baseline.H100.system_power_w
+  in
+  let power_mw = wall_w *. Pricing.pue /. 1e6 in
+  let node_price =
+    constant
+      (float_of_int nodes *. Hnlpu_baseline.H100.spec.Hnlpu_baseline.H100.node_price_usd)
+  in
+  let infrastructure =
+    constant
+      ((float_of_int nodes *. Pricing.h100_network_usd_per_node)
+      +. (power_mw *. Pricing.facility_usd_per_mw))
+  in
+  let total_capex = plus node_price infrastructure in
+  let electricity = constant (electricity_usd ~power_mw) in
+  let maintenance =
+    constant
+      ((3.0 *. Pricing.h100_maintenance_rate_per_year *. node_price.lo)
+      +. (3.0 *. float_of_int gpus *. Pricing.h100_license_usd_per_gpu_per_year))
+  in
+  let opex = plus electricity maintenance in
+  let tco = plus total_capex opex in
+  let embodied = float_of_int gpus *. Pricing.embodied_kgco2e_per_module /. 1000.0 in
+  let emissions = embodied +. operational_tco2e ~power_mw in
+  {
+    label = Printf.sprintf "H100 (%s volume)" (match volume with Low -> "low" | High -> "high");
+    units = gpus;
+    datacenter_power_mw = power_mw;
+    node_price;
+    infrastructure;
+    total_capex;
+    respin = constant 0.0;
+    electricity;
+    maintenance;
+    opex;
+    tco_static = tco;
+    tco_dynamic = tco;
+    emissions_static_t = emissions;
+    emissions_dynamic_t = emissions;
+  }
+
+let table3 () =
+  [ hnlpu_column Low; h100_column Low; hnlpu_column High; h100_column High ]
+
+let ratio_pair get volume =
+  let h = hnlpu_column volume and g = h100_column volume in
+  ((get g).lo /. (get h).hi, (get g).lo /. (get h).lo)
+
+let capex_ratio = ratio_pair (fun c -> c.total_capex)
+
+let opex_ratio = ratio_pair (fun c -> c.opex)
+
+let tco_dynamic_ratio = ratio_pair (fun c -> c.tco_dynamic)
+
+let carbon_ratio ?(dynamic = true) volume =
+  let h = hnlpu_column volume and g = h100_column volume in
+  if dynamic then g.emissions_dynamic_t /. h.emissions_dynamic_t
+  else g.emissions_static_t /. h.emissions_static_t
+
+let to_table () =
+  let cols = table3 () in
+  let t =
+    Table.create
+      ~headers:
+        ("Parameter"
+        :: List.map (fun c -> c.label) cols)
+  in
+  let money m =
+    if m.hi = m.lo || Float.abs (m.hi -. m.lo) < 0.005 *. Float.abs m.hi then
+      Units.dollars_m m.lo
+    else Printf.sprintf "%s ~ %s" (Units.dollars_m m.lo) (Units.dollars_m m.hi)
+  in
+  let row label f = Table.add_row t (label :: List.map f cols) in
+  row "Systems / GPUs" (fun c -> Units.group_thousands c.units);
+  row "Datacenter Power (MW)" (fun c -> Printf.sprintf "%.3f" c.datacenter_power_mw);
+  Table.add_sep t;
+  row "Node Price" (fun c -> money c.node_price);
+  row "DC Infrastructure" (fun c -> money c.infrastructure);
+  row "Total Initial CapEx" (fun c -> money c.total_capex);
+  row "Update Re-spin Cost" (fun c -> money c.respin);
+  Table.add_sep t;
+  row "Electricity (3y)" (fun c -> money c.electricity);
+  row "Maintenance & Support (3y)" (fun c -> money c.maintenance);
+  Table.add_sep t;
+  row "TCO (Static)" (fun c -> money c.tco_static);
+  row "TCO (Annual Updates)" (fun c -> money c.tco_dynamic);
+  Table.add_sep t;
+  row "tCO2e (Static/Dynamic)" (fun c ->
+      Printf.sprintf "%.1f / %.1f" c.emissions_static_t c.emissions_dynamic_t);
+  t

@@ -1,0 +1,88 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive size";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let of_arrays arrays =
+  let rows = Array.length arrays in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length arrays.(0) in
+  if cols = 0 then invalid_arg "Mat.of_arrays: empty row";
+  let m = create ~rows ~cols in
+  Array.iteri
+    (fun r row ->
+      if Array.length row <> cols then invalid_arg "Mat.of_arrays: ragged";
+      Array.blit row 0 m.data (r * cols) cols)
+    arrays;
+  m
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      m.data.((r * cols) + c) <- f r c
+    done
+  done;
+  m
+
+let gaussian ?std rng ~rows ~cols =
+  let std =
+    match std with Some s -> s | None -> 1.0 /. sqrt (float_of_int rows)
+  in
+  init ~rows ~cols (fun _ _ -> std *. Hnlpu_util.Rng.gaussian rng)
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m r c = m.data.((r * m.cols) + c)
+let set m r c v = m.data.((r * m.cols) + c) <- v
+
+let row m r = Array.sub m.data (r * m.cols) m.cols
+
+let col m c = Array.init m.rows (fun r -> get m r c)
+
+let gemv m x =
+  if Array.length x <> m.rows then invalid_arg "Mat.gemv: dimension mismatch";
+  let out = Array.make m.cols 0.0 in
+  for r = 0 to m.rows - 1 do
+    let xi = x.(r) in
+    if xi <> 0.0 then begin
+      let base = r * m.cols in
+      for c = 0 to m.cols - 1 do
+        out.(c) <- out.(c) +. (xi *. m.data.(base + c))
+      done
+    end
+  done;
+  out
+
+let gemv_t m x =
+  if Array.length x <> m.cols then invalid_arg "Mat.gemv_t: dimension mismatch";
+  Array.init m.rows (fun r ->
+      let base = r * m.cols in
+      let acc = ref 0.0 in
+      for c = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + c) *. x.(c))
+      done;
+      !acc)
+
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun r c -> get m c r)
+
+let sub_cols m ~lo ~len =
+  if lo < 0 || len <= 0 || lo + len > m.cols then invalid_arg "Mat.sub_cols";
+  init ~rows:m.rows ~cols:len (fun r c -> get m r (lo + c))
+
+let sub_rows m ~lo ~len =
+  if lo < 0 || len <= 0 || lo + len > m.rows then invalid_arg "Mat.sub_rows";
+  init ~rows:len ~cols:m.cols (fun r c -> get m (lo + r) c)
+
+let map f m = { m with data = Array.map f m.data }
+
+let to_arrays m = Array.init m.rows (fun r -> row m r)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Mat.max_abs_diff: shape mismatch";
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i)))) a.data;
+  !m

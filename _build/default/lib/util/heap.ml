@@ -1,0 +1,60 @@
+type 'a entry = { priority : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable n : int }
+
+let create () = { data = [||]; n = 0 }
+
+let is_empty t = t.n = 0
+
+let size t = t.n
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(i).priority < t.data.(parent).priority then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.n && t.data.(l).priority < t.data.(!smallest).priority then smallest := l;
+  if r < t.n && t.data.(r).priority < t.data.(!smallest).priority then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~priority value =
+  let entry = { priority; value } in
+  if t.n = Array.length t.data then begin
+    let cap = max 16 (2 * Array.length t.data) in
+    let fresh = Array.make cap entry in
+    Array.blit t.data 0 fresh 0 t.n;
+    t.data <- fresh
+  end;
+  t.data.(t.n) <- entry;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let peek t =
+  if t.n = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.data.(0) <- t.data.(t.n);
+      sift_down t 0
+    end;
+    Some (top.priority, top.value)
+  end

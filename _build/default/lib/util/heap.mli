@@ -1,0 +1,17 @@
+(** Minimal binary min-heap keyed by float priority — the event queue of
+    the continuous-batching simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element. *)

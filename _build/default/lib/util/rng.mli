@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, self-contained SplitMix64 generator.  Every stochastic component
+    of the simulators (synthetic weights, workload generators, Monte-Carlo
+    yield experiments) takes an explicit [Rng.t] so that runs are reproducible
+    and independent streams can be split without correlation. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate); used for Poisson arrivals. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,35 @@
+(** Streaming and batch descriptive statistics.
+
+    Used by the workload simulators (latency percentiles, occupancy) and by
+    the benchmark harness to summarize series. *)
+
+type t
+(** Accumulator over a stream of floats (Welford's algorithm). *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+
+val max : t -> float
+
+val total : t -> float
+
+val percentile : float array -> float -> float
+(** [percentile samples p] with [p] in [\[0,1\]]: linear-interpolated
+    percentile of an unsorted sample array (the array is not modified). *)
+
+val histogram : float array -> bins:int -> (float * int) array
+(** [histogram samples ~bins] buckets samples into [bins] equal-width bins
+    over the sample range; returns (bin lower edge, count). *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Approx Compare H100 Hnlpu_baseline Hnlpu_model Hnlpu_system Hnlpu_util List Printf Table Thelp Wse3

@@ -1,0 +1,1 @@
+test/test_chip.ml: Alcotest Approx Attention_buffer Control_unit Floorplan Hbm Hn_array Hnlpu_chip Hnlpu_model Hnlpu_util Interconnect_engine Printf Table Thelp Vex

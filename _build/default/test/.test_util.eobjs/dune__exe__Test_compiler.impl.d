@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Config Fp4 Gemv Hn_compiler Hnlpu Hnlpu_fp4 Hnlpu_litho Hnlpu_util List QCheck QCheck_alcotest Rng Sampler Thelp Tokenizer Transformer Weights

@@ -1,0 +1,1 @@
+test/test_decoding.ml: Alcotest Array Config Float Generation Hnlpu List Printf QCheck QCheck_alcotest Rng Sampler Transformer Vec Vex_sim Weights

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Bitserial Chart Csa Float Gemv Hnlpu_fp4 Hnlpu_model Hnlpu_neuron Hnlpu_noc Hnlpu_system Hnlpu_util Metal_embedding Rng Scheduler Stats String Table Thelp Topology Units

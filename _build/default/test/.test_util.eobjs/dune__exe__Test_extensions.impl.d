@@ -1,0 +1,1 @@
+test/test_extensions.ml: Ablation Alcotest Approx Array Config Deployment Float Gen Hn_linear Hnlpu List Lora Mat Perf Printf QCheck QCheck_alcotest Rng Sampler Tco Tech Transformer Vec Weights Yield

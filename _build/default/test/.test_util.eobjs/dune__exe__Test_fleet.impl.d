@@ -1,0 +1,1 @@
+test/test_fleet.ml: Alcotest Approx Config Hnlpu List Multi_node Printf Rng Scaling Scheduler Table Thelp

@@ -1,0 +1,1 @@
+test/test_fp4.ml: Alcotest Array Bitserial Blockscale Bytes Csa Float Fp4 Gen Hnlpu_fp4 Hnlpu_util List Printf QCheck QCheck_alcotest Thelp

@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Approx Array Census Hnlpu_fp4 Hnlpu_gates Hnlpu_util List Printf QCheck QCheck_alcotest Sram Tech Yield

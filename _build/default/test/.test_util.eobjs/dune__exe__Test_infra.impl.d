@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Chart Filename Heap Hnlpu Hnlpu_util List QCheck QCheck_alcotest String Sys Table Thelp

@@ -1,0 +1,1 @@
+test/test_litho.ml: Alcotest Approx Hnlpu_litho Hnlpu_model Hnlpu_util Layer_stack List Mask_cost Model_nre Printf QCheck QCheck_alcotest Strawman

@@ -1,0 +1,1 @@
+test/test_neuron.ml: Alcotest Array Cell_embedding Fp4 Gemv Hnlpu_fp4 Hnlpu_gates Hnlpu_neuron Hnlpu_util List Mac_array Metal_embedding Printf QCheck QCheck_alcotest Report Rng Table Thelp

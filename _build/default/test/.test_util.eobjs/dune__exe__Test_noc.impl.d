@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Approx Array Collective Gen Hnlpu_noc Hnlpu_tensor Hnlpu_util Link List QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Approx Carbon Config Hnlpu List Perf Printf Rng Routing Scheduler String Table Tco Thelp Thermal Trace Traffic

@@ -1,0 +1,1 @@
+test/test_prefab.ml: Alcotest Approx Config Energy Float Hnlpu Hnlpu_litho List Printf Sea_of_neurons Table Thelp

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Fp4 Gemv Hnlpu Hnlpu_fp4 List Me_rtl Metal_embedding Printf QCheck QCheck_alcotest Rng Sensitivity Table Thelp

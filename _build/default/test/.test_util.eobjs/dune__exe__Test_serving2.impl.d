@@ -1,0 +1,1 @@
+test/test_serving2.ml: Ablation Alcotest Approx Array Bytes Checkpoint Config Filename Hnlpu List Printf QCheck QCheck_alcotest Rng Sampler Speculative Sys Transformer Vec Weights

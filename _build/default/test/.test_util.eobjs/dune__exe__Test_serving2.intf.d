@@ -1,0 +1,1 @@
+test/test_serving2.mli:

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Approx Array Dataflow Float Gen Hnlpu_model Hnlpu_noc Hnlpu_system Hnlpu_tensor Hnlpu_util List Mapping Perf Printf QCheck QCheck_alcotest Rng Scheduler

@@ -1,0 +1,1 @@
+test/test_system2.ml: Alcotest Approx Array Collective Config Hnlpu Hnlpu_noc Link List Mat Package Printf QCheck QCheck_alcotest Quant_eval Rng Schedule Slo Topology Vec Weights

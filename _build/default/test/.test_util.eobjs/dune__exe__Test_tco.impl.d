@@ -1,0 +1,1 @@
+test/test_tco.ml: Alcotest Approx Cost_breakdown Hnlpu_tco Hnlpu_util List Pricing Printf Table Tco Thelp

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Gen Hnlpu_tensor Hnlpu_util List Mat QCheck QCheck_alcotest Rng Vec

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Approx Array Float Fun Hnlpu_util List Rng Stats String Table Thelp Units

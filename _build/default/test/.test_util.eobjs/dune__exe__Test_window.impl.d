@@ -1,0 +1,1 @@
+test/test_window.ml: Ablation Alcotest Approx Array Config Dataflow Float Hnlpu List Perf Printf Rng Transformer Vec Weights

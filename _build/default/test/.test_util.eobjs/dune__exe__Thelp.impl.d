@@ -1,0 +1,1 @@
+test/thelp.ml: Hnlpu_util String

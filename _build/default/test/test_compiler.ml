@@ -1,0 +1,256 @@
+(* Tests for the Hardwired-Neuron compiler (netlist / TCL / LVS / DRC) and
+   the byte-level tokenizer. *)
+
+open Hnlpu
+open Hnlpu_litho
+
+let small_gemv seed =
+  Gemv.random (Rng.create seed) ~in_features:48 ~out_features:6 ~act_bits:8
+
+(* --- Compiler: structure ------------------------------------------------ *)
+
+let test_compile_wire_count () =
+  let g = small_gemv 1 in
+  let n = Hn_compiler.compile ~slack:4.0 g in
+  Alcotest.(check int) "one wire per weight" (Gemv.total_macs g)
+    (Hn_compiler.wire_count n)
+
+let test_compile_overflow () =
+  let open Hnlpu_fp4 in
+  let g = Gemv.make ~weights:[| Array.make 32 (Fp4.of_float 1.0) |] ~act_bits:8 in
+  Alcotest.(check bool) "overflow rejected" true
+    (try
+       ignore (Hn_compiler.compile ~slack:1.0 g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_compile_drc_clean () =
+  let n = Hn_compiler.compile ~slack:4.0 (small_gemv 2) in
+  Alcotest.(check int) "DRC clean" 0 (List.length (Hn_compiler.drc n))
+
+let test_drc_detects_conflicts () =
+  let n = Hn_compiler.compile ~slack:4.0 (small_gemv 3) in
+  (* Sabotage: duplicate the first wire's (layer, track) onto the second. *)
+  let broken =
+    match n.Hn_compiler.wires with
+    | w1 :: w2 :: rest ->
+      { n with Hn_compiler.wires = w1 :: { w2 with Hn_compiler.layer = w1.Hn_compiler.layer;
+                                                    track = w1.Hn_compiler.track } :: rest }
+    | _ -> Alcotest.fail "expected wires"
+  in
+  Alcotest.(check bool) "track conflict detected" true
+    (List.exists
+       (function Hn_compiler.Track_conflict _ -> true | _ -> false)
+       (Hn_compiler.drc broken))
+
+let test_drc_detects_bad_layer () =
+  let n = Hn_compiler.compile ~slack:4.0 (small_gemv 4) in
+  let broken =
+    match n.Hn_compiler.wires with
+    | w :: rest -> { n with Hn_compiler.wires = { w with Hn_compiler.layer = "M3" } :: rest }
+    | _ -> Alcotest.fail "expected wires"
+  in
+  Alcotest.(check bool) "embedding outside M8-M11 detected" true
+    (List.exists
+       (function Hn_compiler.Out_of_window _ -> true | _ -> false)
+       (Hn_compiler.drc broken))
+
+(* --- Compiler: LVS -------------------------------------------------------- *)
+
+let test_lvs_passes () =
+  let g = small_gemv 5 in
+  let n = Hn_compiler.compile ~slack:4.0 g in
+  Alcotest.(check bool) "LVS clean" true (Hn_compiler.lvs n g)
+
+let test_lvs_catches_wrong_weight () =
+  let g = small_gemv 6 in
+  let n = Hn_compiler.compile ~slack:4.0 g in
+  (* Move one wire to a different region: the netlist now encodes a
+     different weight — exactly what LVS exists to catch. *)
+  let broken =
+    match n.Hn_compiler.wires with
+    | w :: rest ->
+      { n with
+        Hn_compiler.wires =
+          { w with Hn_compiler.region = (w.Hn_compiler.region + 1) mod 16 } :: rest }
+    | _ -> Alcotest.fail "expected wires"
+  in
+  Alcotest.(check bool) "LVS fails" false (Hn_compiler.lvs broken g)
+
+let test_extract_weights_roundtrip () =
+  let g = small_gemv 7 in
+  let n = Hn_compiler.compile ~slack:4.0 g in
+  let extracted = Hn_compiler.extract_weights n in
+  Array.iteri
+    (fun o row ->
+      Array.iteri
+        (fun i w ->
+          Alcotest.(check bool) "same code" true (Fp4.equal w extracted.(o).(i)))
+        row)
+    g.Gemv.weights
+
+(* --- Compiler: TCL round-trip ----------------------------------------------- *)
+
+let test_tcl_roundtrip () =
+  let g = small_gemv 8 in
+  let n = Hn_compiler.compile ~slack:4.0 g in
+  let n' = Hn_compiler.of_tcl (Hn_compiler.to_tcl n) in
+  Alcotest.(check bool) "identical netlist" true (n = n');
+  Alcotest.(check bool) "still LVS clean" true (Hn_compiler.lvs n' g)
+
+let test_tcl_rejects_garbage () =
+  Alcotest.(check bool) "bad header" true
+    (try
+       ignore (Hn_compiler.of_tcl "nonsense");
+       false
+     with Failure _ -> true)
+
+let prop_compile_lvs_always =
+  QCheck.Test.make ~name:"compile then LVS always passes" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        Gemv.random rng
+          ~in_features:(16 + Rng.int rng 48)
+          ~out_features:(1 + Rng.int rng 6)
+          ~act_bits:8
+      in
+      let n = Hn_compiler.compile ~slack:16.0 g in
+      Hn_compiler.lvs n g && Hn_compiler.drc n = [])
+
+let test_report_renders () =
+  let n = Hn_compiler.compile ~slack:4.0 (small_gemv 9) in
+  let s = Hn_compiler.report n in
+  Alcotest.(check bool) "mentions layers" true
+    (Thelp.contains s "M8" && Thelp.contains s "M11" && Thelp.contains s "wires")
+
+(* The netlist for one chip of the real model is ~7.2B wires; compile a
+   single full-width neuron bank to prove the path scales shape-wise. *)
+let test_compile_full_width_neuron () =
+  let g =
+    Gemv.random (Rng.create 10) ~in_features:2880 ~out_features:2 ~act_bits:8
+  in
+  let n = Hn_compiler.compile g in
+  Alcotest.(check int) "5760 wires" 5760 (Hn_compiler.wire_count n);
+  Alcotest.(check bool) "LVS" true (Hn_compiler.lvs n g);
+  Alcotest.(check int) "DRC" 0 (List.length (Hn_compiler.drc n))
+
+(* --- Netlist diff ------------------------------------------------------------- *)
+
+let test_diff_identity () =
+  let g = small_gemv 20 in
+  let n = Hn_compiler.compile ~slack:4.0 g in
+  let d = Hn_compiler.diff n n in
+  Alcotest.(check int) "no reroutes" 0 d.Hn_compiler.rerouted;
+  Alcotest.(check (list string)) "no layers" [] d.Hn_compiler.layers_touched
+
+let test_diff_counts_changes () =
+  let open Hnlpu_fp4 in
+  let base = Array.make 16 (Fp4.of_float 1.0) in
+  let changed = Array.copy base in
+  changed.(3) <- Fp4.of_float 2.0;
+  changed.(7) <- Fp4.of_float (-1.0);
+  let ga = Gemv.make ~weights:[| base |] ~act_bits:8 in
+  let gb = Gemv.make ~weights:[| changed |] ~act_bits:8 in
+  let na = Hn_compiler.compile ~slack:16.0 ga in
+  let nb = Hn_compiler.compile ~slack:16.0 gb in
+  let d = Hn_compiler.diff na nb in
+  Alcotest.(check int) "two wires rerouted" 2 d.Hn_compiler.rerouted;
+  Alcotest.(check bool) "fraction" true
+    (Hnlpu_util.Approx.close ~rel:1e-9 d.Hn_compiler.rerouted_fraction (2.0 /. 16.0))
+
+let test_diff_shape_mismatch () =
+  let na = Hn_compiler.compile ~slack:8.0 (small_gemv 21) in
+  let nb =
+    Hn_compiler.compile ~slack:8.0
+      (Gemv.random (Rng.create 22) ~in_features:24 ~out_features:6 ~act_bits:8)
+  in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Hn_compiler.diff na nb);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Tokenizer ------------------------------------------------------------------ *)
+
+let test_tokenizer_roundtrip () =
+  let s = "Hello, HNLPU!\n" in
+  Alcotest.(check string) "roundtrip" s (Tokenizer.decode (Tokenizer.encode s))
+
+let test_tokenizer_bos () =
+  (match Tokenizer.encode "a" with
+  | [ b; 97 ] -> Alcotest.(check int) "bos first" Tokenizer.bos b
+  | _ -> Alcotest.fail "unexpected encoding");
+  Alcotest.(check (list int)) "no bos" [ 97 ] (Tokenizer.encode ~add_bos:false "a")
+
+let test_tokenizer_specials_dropped () =
+  Alcotest.(check string) "specials invisible" "ab"
+    (Tokenizer.decode [ Tokenizer.bos; 97; Tokenizer.pad; 98; Tokenizer.eos ])
+
+let test_tokenizer_names () =
+  Alcotest.(check string) "printable" "'A'" (Tokenizer.token_name 65);
+  Alcotest.(check string) "control" "0x0A" (Tokenizer.token_name 10);
+  Alcotest.(check string) "special" "<bos>" (Tokenizer.token_name Tokenizer.bos)
+
+let test_tiny_byte_model_runs () =
+  Config.validate Tokenizer.tiny_byte_config;
+  let w = Weights.random (Rng.create 11) Tokenizer.tiny_byte_config in
+  let t = Transformer.create w in
+  let out =
+    Transformer.generate (Rng.create 12) t
+      ~prompt:(Tokenizer.encode "hi")
+      ~max_new_tokens:8 (Sampler.Top_k (20, 1.0))
+  in
+  Alcotest.(check int) "8 tokens" 8 (List.length out);
+  (* Decoding must never raise, whatever bytes come out. *)
+  ignore (Tokenizer.decode out)
+
+let prop_tokenizer_roundtrip =
+  QCheck.Test.make ~name:"byte tokenizer roundtrips all strings" ~count:200
+    QCheck.string
+    (fun s -> Tokenizer.decode (Tokenizer.encode s) = s)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hnlpu_compiler"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "wire count" `Quick test_compile_wire_count;
+          Alcotest.test_case "overflow" `Quick test_compile_overflow;
+          Alcotest.test_case "drc clean" `Quick test_compile_drc_clean;
+          Alcotest.test_case "drc track conflict" `Quick test_drc_detects_conflicts;
+          Alcotest.test_case "drc bad layer" `Quick test_drc_detects_bad_layer;
+          Alcotest.test_case "full-width neuron" `Quick test_compile_full_width_neuron;
+        ] );
+      ( "lvs",
+        [
+          Alcotest.test_case "passes" `Quick test_lvs_passes;
+          Alcotest.test_case "catches wrong weight" `Quick test_lvs_catches_wrong_weight;
+          Alcotest.test_case "extract roundtrip" `Quick test_extract_weights_roundtrip;
+        ] );
+      ( "tcl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tcl_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_tcl_rejects_garbage;
+          Alcotest.test_case "report" `Quick test_report_renders;
+        ] );
+      qsuite "compiler properties" [ prop_compile_lvs_always ];
+      ( "diff",
+        [
+          Alcotest.test_case "identity" `Quick test_diff_identity;
+          Alcotest.test_case "counts changes" `Quick test_diff_counts_changes;
+          Alcotest.test_case "shape mismatch" `Quick test_diff_shape_mismatch;
+        ] );
+      ( "tokenizer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tokenizer_roundtrip;
+          Alcotest.test_case "bos" `Quick test_tokenizer_bos;
+          Alcotest.test_case "specials dropped" `Quick test_tokenizer_specials_dropped;
+          Alcotest.test_case "token names" `Quick test_tokenizer_names;
+          Alcotest.test_case "tiny-byte model" `Quick test_tiny_byte_model_runs;
+        ] );
+      qsuite "tokenizer properties" [ prop_tokenizer_roundtrip ];
+    ]

@@ -1,0 +1,201 @@
+(* Tests for beam-search decoding (Transformer.fork + Generation) and the
+   hardware nonlinear units (Vex_sim). *)
+
+open Hnlpu
+
+let make_tiny seed = Transformer.create (Weights.random (Rng.create seed) Config.tiny)
+
+(* --- fork ------------------------------------------------------------------ *)
+
+let test_fork_independent () =
+  let a = make_tiny 1 in
+  ignore (Transformer.prefill a [ 1; 2; 3 ]);
+  let b = Transformer.fork a in
+  Alcotest.(check int) "same position" (Transformer.position a) (Transformer.position b);
+  (* Diverge: advancing b must not disturb a. *)
+  let la_before = Transformer.forward (Transformer.fork a) ~token:5 in
+  ignore (Transformer.forward b ~token:9);
+  ignore (Transformer.forward b ~token:9);
+  let la_after = Transformer.forward (Transformer.fork a) ~token:5 in
+  Alcotest.(check (float 0.0)) "a untouched" 0.0 (Vec.max_abs_diff la_before la_after)
+
+let test_fork_equals_replay () =
+  let a = make_tiny 2 in
+  ignore (Transformer.prefill a [ 4; 5 ]);
+  let b = Transformer.fork a in
+  let via_fork = Transformer.forward b ~token:6 in
+  let fresh = make_tiny 2 in
+  let via_replay = Transformer.prefill fresh [ 4; 5; 6 ] in
+  Alcotest.(check (float 0.0)) "fork = replay" 0.0 (Vec.max_abs_diff via_fork via_replay)
+
+(* --- beam search -------------------------------------------------------------- *)
+
+let test_beam1_is_greedy () =
+  let a = make_tiny 3 and b = make_tiny 3 in
+  let greedy_ref =
+    Transformer.generate (Rng.create 0) a ~prompt:[ 7 ] ~max_new_tokens:6 Sampler.Greedy
+  in
+  let beam = Generation.greedy b ~prompt:[ 7 ] ~max_new_tokens:6 () in
+  Alcotest.(check (list int)) "beam=1 = greedy" greedy_ref beam
+
+let test_beam_score_at_least_greedy () =
+  let t = make_tiny 4 in
+  let prompt = [ 2 ] in
+  let hyps = Generation.beam_search t ~prompt ~beams:4 ~max_new_tokens:5 () in
+  let best = List.hd hyps in
+  let t2 = make_tiny 4 in
+  let greedy = Generation.greedy t2 ~prompt ~max_new_tokens:5 () in
+  let score seq =
+    let t3 = make_tiny 4 in
+    Transformer.score t3 (prompt @ seq)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "beam %.4f >= greedy %.4f" best.Generation.logprob (score greedy))
+    true
+    (best.Generation.logprob >= score greedy -. 1e-6)
+
+let test_beam_scores_internally_consistent () =
+  (* The search's accumulated log-prob must equal Transformer.score. *)
+  let t = make_tiny 5 in
+  let prompt = [ 9; 1 ] in
+  let hyps = Generation.beam_search t ~prompt ~beams:3 ~max_new_tokens:4 () in
+  List.iter
+    (fun h ->
+      let t2 = make_tiny 5 in
+      let s = Transformer.score t2 (prompt @ h.Generation.tokens) in
+      (* score covers prompt transitions too; subtract the prompt-only part. *)
+      let t3 = make_tiny 5 in
+      let prompt_part = Transformer.score t3 prompt in
+      Alcotest.(check bool)
+        (Printf.sprintf "consistent %.4f vs %.4f" h.Generation.logprob (s -. prompt_part))
+        true
+        (Float.abs (h.Generation.logprob -. (s -. prompt_part)) < 1e-6))
+    hyps
+
+let test_beam_ranked_and_bounded () =
+  let t = make_tiny 6 in
+  let hyps = Generation.beam_search t ~prompt:[ 1 ] ~beams:4 ~max_new_tokens:4 () in
+  Alcotest.(check bool) "at most beams" true (List.length hyps <= 4);
+  let scores = List.map (fun h -> h.Generation.normalized) hyps in
+  Alcotest.(check bool) "ranked" true
+    (List.sort (fun a b -> compare b a) scores = scores)
+
+let test_beam_stop_token () =
+  let t = make_tiny 7 in
+  (* Declare greedy's own first emission the stop token: the search must
+     finish immediately, with the stop token as its only output. *)
+  let t2 = make_tiny 7 in
+  let g = Generation.greedy t2 ~prompt:[ 3 ] ~max_new_tokens:1 () in
+  match g with
+  | [ first ] ->
+    let hyps =
+      Generation.beam_search t ~prompt:[ 3 ] ~beams:1 ~max_new_tokens:8 ~stop:first ()
+    in
+    let best = List.hd hyps in
+    Alcotest.(check bool) "finished" true best.Generation.finished;
+    Alcotest.(check (list int)) "stopped on the stop token" [ first ]
+      best.Generation.tokens
+  | _ -> Alcotest.fail "expected one token"
+
+let test_length_penalty_prefers_longer () =
+  let t = make_tiny 8 in
+  let plain = Generation.beam_search t ~prompt:[ 1 ] ~beams:3 ~max_new_tokens:5 () in
+  let penalized =
+    Generation.beam_search t ~prompt:[ 1 ] ~beams:3 ~max_new_tokens:5
+      ~length_penalty:1.0 ()
+  in
+  (* With alpha > 0 the normalized score is log-prob / penalty > log-prob
+     (penalty > 1 for len >= 2): normalization strictly increases scores. *)
+  List.iter2
+    (fun (a : Generation.hypothesis) (b : Generation.hypothesis) ->
+      ignore a;
+      Alcotest.(check bool) "normalized >= raw" true
+        (b.Generation.normalized >= b.Generation.logprob -. 1e-9))
+    plain penalized
+
+(* --- Vex_sim hardware nonlinearities ----------------------------------------- *)
+
+let test_exp_accuracy () =
+  let e = Vex_sim.max_rel_error_exp ~lo:(-20.0) ~hi:20.0 ~samples:5000 in
+  Alcotest.(check bool) (Printf.sprintf "exp err %.2e" e) true (e < 1e-3)
+
+let test_rsqrt_accuracy () =
+  let e = Vex_sim.max_rel_error_rsqrt ~lo:1e-6 ~hi:1e6 ~samples:5000 in
+  Alcotest.(check bool) (Printf.sprintf "rsqrt err %.2e" e) true (e < 1e-3)
+
+let test_exp_clamps () =
+  Alcotest.(check bool) "no overflow" true (Float.is_finite (Vex_sim.exp_hw 1e9));
+  Alcotest.(check bool) "no underflow to nan" true (Vex_sim.exp_hw (-1e9) >= 0.0)
+
+let test_sigmoid_properties () =
+  Alcotest.(check bool) "sigmoid(0) ~ 0.5" true
+    (Float.abs (Vex_sim.sigmoid_hw 0.0 -. 0.5) < 1e-3);
+  Alcotest.(check bool) "symmetric" true
+    (Float.abs (Vex_sim.sigmoid_hw 2.0 +. Vex_sim.sigmoid_hw (-2.0) -. 1.0) < 1e-3)
+
+let test_softmax_hw_close () =
+  let v = [| 1.0; -2.0; 0.3; 4.0 |] in
+  let hw = Vex_sim.softmax_hw v and ref_ = Vec.softmax v in
+  Alcotest.(check bool) "close" true (Vec.max_abs_diff hw ref_ < 1e-3);
+  Alcotest.(check bool) "normalized" true
+    (Float.abs (Array.fold_left ( +. ) 0.0 hw -. 1.0) < 1e-9)
+
+let test_rmsnorm_hw_close () =
+  let rng = Rng.create 9 in
+  let v = Vec.gaussian rng 64 in
+  let gain = Array.make 64 1.0 in
+  let hw = Vex_sim.rmsnorm_hw ~gain v and ref_ = Vec.rmsnorm ~gain v in
+  let err = Vec.max_abs_diff hw ref_ /. Vec.norm2 ref_ in
+  Alcotest.(check bool) (Printf.sprintf "err %.2e" err) true (err < 1e-3)
+
+let test_transformer_layer_on_hw_nonlinear () =
+  (* Evaluate a full attention-score + SwiGLU path with the hardware units
+     and check it tracks the float path. *)
+  let rng = Rng.create 10 in
+  let gate = Vec.gaussian rng 32 and up = Vec.gaussian rng 32 in
+  let hw = Vex_sim.swiglu_hw ~gate ~up and ref_ = Vec.swiglu ~gate ~up in
+  Alcotest.(check bool) "swiglu tracks" true (Vec.max_abs_diff hw ref_ < 1e-3)
+
+let prop_exp_monotone =
+  QCheck.Test.make ~name:"hardware exp is monotone" ~count:200
+    QCheck.(pair (float_range (-50.0) 50.0) (float_range 0.001 1.0))
+    (fun (x, dx) -> Vex_sim.exp_hw (x +. dx) >= Vex_sim.exp_hw x)
+
+let prop_rsqrt_newton_converged =
+  QCheck.Test.make ~name:"rsqrt satisfies x*y^2 ~ 1" ~count:200
+    QCheck.(float_range 1e-3 1e3)
+    (fun x ->
+      let y = Vex_sim.rsqrt_hw x in
+      Float.abs ((x *. y *. y) -. 1.0) < 5e-3)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hnlpu_decoding"
+    [
+      ( "fork",
+        [
+          Alcotest.test_case "independence" `Quick test_fork_independent;
+          Alcotest.test_case "fork = replay" `Quick test_fork_equals_replay;
+        ] );
+      ( "beam-search",
+        [
+          Alcotest.test_case "beam 1 = greedy" `Quick test_beam1_is_greedy;
+          Alcotest.test_case "beats greedy" `Quick test_beam_score_at_least_greedy;
+          Alcotest.test_case "scores consistent" `Quick test_beam_scores_internally_consistent;
+          Alcotest.test_case "ranked & bounded" `Quick test_beam_ranked_and_bounded;
+          Alcotest.test_case "stop token" `Quick test_beam_stop_token;
+          Alcotest.test_case "length penalty" `Quick test_length_penalty_prefers_longer;
+        ] );
+      ( "vex-sim",
+        [
+          Alcotest.test_case "exp accuracy" `Quick test_exp_accuracy;
+          Alcotest.test_case "rsqrt accuracy" `Quick test_rsqrt_accuracy;
+          Alcotest.test_case "exp clamps" `Quick test_exp_clamps;
+          Alcotest.test_case "sigmoid" `Quick test_sigmoid_properties;
+          Alcotest.test_case "softmax" `Quick test_softmax_hw_close;
+          Alcotest.test_case "rmsnorm" `Quick test_rmsnorm_hw_close;
+          Alcotest.test_case "swiglu" `Quick test_transformer_layer_on_hw_nonlinear;
+        ] );
+      qsuite "vex-sim properties" [ prop_exp_monotone; prop_rsqrt_newton_converged ];
+    ]

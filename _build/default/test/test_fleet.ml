@@ -1,0 +1,127 @@
+(* Tests for the GPU-equivalence scaling sweep and the multi-node fleet
+   simulation backing the high-volume scenario. *)
+
+open Hnlpu
+
+let config = Config.gpt_oss_120b
+
+(* --- Scaling / GPU equivalence ------------------------------------------- *)
+
+let test_scaling_batch1_is_table2 () =
+  match Scaling.sweep ~batches:[ 1 ] () with
+  | [ p ] ->
+    (* 249,960 / 45 = the Table 2 headline. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "%.0f GPUs" p.Scaling.gpus_needed)
+      true
+      (Approx.within_pct 1.0 ~expected:5555.0 ~actual:p.Scaling.gpus_needed)
+  | _ -> Alcotest.fail "one point expected"
+
+let test_scaling_batching_shrinks_cluster () =
+  let pts = Scaling.sweep () in
+  let needed b =
+    (List.find (fun p -> p.Scaling.gpu_batch = b) pts).Scaling.gpus_needed
+  in
+  Alcotest.(check bool) "bigger batches, fewer GPUs" true
+    (needed 256 < needed 50 && needed 50 < needed 1);
+  (* Even a throughput-tuned cluster still needs dozens of GPUs. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "batch-256 still needs %.0f GPUs (dozens)" (needed 256))
+    true
+    (needed 256 > 50.0)
+
+let test_scaling_paper_equivalence () =
+  let p = Scaling.paper_equivalence in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f GPUs ~ 2000" p.Scaling.gpus_needed)
+    true
+    (Approx.within_pct 10.0 ~expected:2000.0 ~actual:p.Scaling.gpus_needed);
+  (* The power argument behind the OpEx advantage. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "power ratio %.0fx" p.Scaling.power_ratio)
+    true
+    (p.Scaling.power_ratio > 200.0)
+
+let test_scaling_table_renders () =
+  let s = Table.render (Scaling.to_table (Scaling.sweep ())) in
+  Alcotest.(check bool) "renders" true (Thelp.contains s "GPUs to match")
+
+(* --- Multi-node fleet --------------------------------------------------------- *)
+
+let saturating_workload seed =
+  (* Big enough that pipeline fill/drain and decode tails amortize. *)
+  Scheduler.workload (Rng.create seed) ~n:1200 ~rate_per_s:1.0e9 ~mean_prefill:150
+    ~mean_decode:2
+
+let test_fleet_conservation () =
+  let reqs = saturating_workload 1 in
+  let r = Multi_node.simulate ~nodes:4 config reqs in
+  let expected =
+    List.fold_left
+      (fun a q -> a + q.Scheduler.prefill_tokens + q.Scheduler.decode_tokens)
+      0 reqs
+  in
+  Alcotest.(check int) "tokens conserved across nodes" expected r.Multi_node.total_tokens;
+  Alcotest.(check int) "all nodes reported" 4 (List.length r.Multi_node.per_node)
+
+let test_fleet_scales_nearly_linearly () =
+  let reqs = saturating_workload 2 in
+  let e = Multi_node.scaling_efficiency ~nodes:4 config reqs in
+  Alcotest.(check bool) (Printf.sprintf "efficiency %.2f" e) true (e > 0.8 && e <= 1.05)
+
+let test_fleet_least_loaded_balances () =
+  (* Heavy-tailed request sizes: least-loaded keeps imbalance low. *)
+  let rng = Rng.create 3 in
+  let reqs =
+    List.init 200 (fun i ->
+        {
+          Scheduler.arrival_s = 0.0001 *. float_of_int i;
+          prefill_tokens = 1 + Rng.int rng (if i mod 17 = 0 then 2000 else 40);
+          decode_tokens = 1 + Rng.int rng 8;
+        })
+  in
+  let rr = Multi_node.simulate ~policy:Multi_node.Round_robin ~nodes:4 config reqs in
+  let ll = Multi_node.simulate ~policy:Multi_node.Least_loaded ~nodes:4 config reqs in
+  Alcotest.(check bool)
+    (Printf.sprintf "LL %.2f <= RR %.2f imbalance" ll.Multi_node.imbalance
+       rr.Multi_node.imbalance)
+    true
+    (ll.Multi_node.imbalance <= rr.Multi_node.imbalance +. 1e-9);
+  Alcotest.(check bool) "LL close to even" true (ll.Multi_node.imbalance < 1.3)
+
+let test_fleet_empty_node_ok () =
+  (* More nodes than requests: the idle nodes must report zeros. *)
+  let reqs =
+    [ { Scheduler.arrival_s = 0.0; prefill_tokens = 3; decode_tokens = 2 } ]
+  in
+  let r = Multi_node.simulate ~nodes:3 config reqs in
+  Alcotest.(check int) "five tokens" 5 r.Multi_node.total_tokens;
+  let idle = List.filter (fun s -> s.Multi_node.tokens = 0) r.Multi_node.per_node in
+  Alcotest.(check int) "two idle nodes" 2 (List.length idle)
+
+let test_fleet_validation () =
+  Alcotest.(check bool) "zero nodes rejected" true
+    (try
+       ignore (Multi_node.simulate ~nodes:0 config []);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "hnlpu_fleet"
+    [
+      ( "gpu-equivalence",
+        [
+          Alcotest.test_case "batch 1 = Table 2" `Quick test_scaling_batch1_is_table2;
+          Alcotest.test_case "batching shrinks cluster" `Quick test_scaling_batching_shrinks_cluster;
+          Alcotest.test_case "paper equivalence" `Quick test_scaling_paper_equivalence;
+          Alcotest.test_case "table" `Quick test_scaling_table_renders;
+        ] );
+      ( "multi-node",
+        [
+          Alcotest.test_case "conservation" `Quick test_fleet_conservation;
+          Alcotest.test_case "near-linear scaling" `Quick test_fleet_scales_nearly_linearly;
+          Alcotest.test_case "least-loaded balances" `Quick test_fleet_least_loaded_balances;
+          Alcotest.test_case "idle nodes" `Quick test_fleet_empty_node_ok;
+          Alcotest.test_case "validation" `Quick test_fleet_validation;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+open Hnlpu_fp4
+
+(* --- Fp4 codec ------------------------------------------------------- *)
+
+let expected_values =
+  (* code -> decoded value, E2M1 *)
+  [
+    (0, 0.0); (1, 0.5); (2, 1.0); (3, 1.5); (4, 2.0); (5, 3.0); (6, 4.0);
+    (7, 6.0); (8, -0.0); (9, -0.5); (10, -1.0); (11, -1.5); (12, -2.0);
+    (13, -3.0); (14, -4.0); (15, -6.0);
+  ]
+
+let test_decode_table () =
+  List.iter
+    (fun (c, v) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "code %d" c)
+        v
+        (Fp4.to_float (Fp4.of_code c)))
+    expected_values
+
+let test_of_code_bounds () =
+  Alcotest.check_raises "negative" (Invalid_argument "Fp4.of_code: code out of range")
+    (fun () -> ignore (Fp4.of_code (-1)));
+  Alcotest.check_raises "too big" (Invalid_argument "Fp4.of_code: code out of range")
+    (fun () -> ignore (Fp4.of_code 16))
+
+let test_roundtrip_exact () =
+  (* Every representable value must quantize to itself. *)
+  List.iter
+    (fun c ->
+      let v = Fp4.to_float c in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "roundtrip %g" v)
+        v
+        (Fp4.to_float (Fp4.of_float v)))
+    Fp4.all
+
+let test_of_float_saturates () =
+  Alcotest.(check (float 0.0)) "big" 6.0 (Fp4.to_float (Fp4.of_float 1e9));
+  Alcotest.(check (float 0.0)) "big neg" (-6.0) (Fp4.to_float (Fp4.of_float (-1e9)))
+
+let test_of_float_nearest () =
+  Alcotest.(check (float 0.0)) "0.6 -> 0.5" 0.5 (Fp4.to_float (Fp4.of_float 0.6));
+  Alcotest.(check (float 0.0)) "0.8 -> 1.0" 1.0 (Fp4.to_float (Fp4.of_float 0.8));
+  Alcotest.(check (float 0.0)) "2.4 -> 2.0" 2.0 (Fp4.to_float (Fp4.of_float 2.4));
+  Alcotest.(check (float 0.0)) "-4.9 -> -6 or -4 (nearest is -4)" (-4.0)
+    (Fp4.to_float (Fp4.of_float (-4.9)));
+  Alcotest.(check (float 0.0)) "5.1 -> 6" 6.0 (Fp4.to_float (Fp4.of_float 5.1))
+
+let test_neg_involution () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "neg . neg = id" true (Fp4.equal c (Fp4.neg (Fp4.neg c)));
+      Alcotest.(check (float 0.0)) "negates value" (-.Fp4.to_float c)
+        (Fp4.to_float (Fp4.neg c)))
+    Fp4.all
+
+let test_half_units () =
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 0.0)) "half-units exact"
+        (2.0 *. Fp4.to_float c)
+        (float_of_int (Fp4.to_half_units c));
+      match Fp4.of_half_units (Fp4.to_half_units c) with
+      | None -> Alcotest.fail "of_half_units must invert"
+      | Some c' ->
+        Alcotest.(check (float 0.0)) "value preserved" (Fp4.to_float c) (Fp4.to_float c'))
+    Fp4.all;
+  Alcotest.(check bool) "5 half-units unrepresentable" true
+    (Fp4.of_half_units 5 = None)
+
+let prop_of_float_is_nearest =
+  QCheck.Test.make ~name:"of_float picks a nearest representable" ~count:500
+    QCheck.(float_bound_exclusive 16.0)
+    (fun x ->
+      let q = Fp4.to_float (Fp4.of_float x) in
+      let clamped = Float.min x 6.0 in
+      let err = Float.abs (q -. clamped) in
+      List.for_all (fun c -> err <= Float.abs (Fp4.to_float c -. clamped) +. 1e-12) Fp4.all)
+
+(* --- Blockscale ------------------------------------------------------ *)
+
+let test_blockscale_roundtrip_representable () =
+  (* A block whose elements are already scaled representables must survive. *)
+  let xs = [| 6.0; 3.0; -1.5; 0.5; 0.0; -6.0; 2.0; 4.0 |] in
+  let b = Blockscale.quantize_block xs in
+  Alcotest.(check (array (float 0.0))) "exact" xs (Blockscale.dequantize_block b)
+
+let test_blockscale_scaling () =
+  (* Same shape at 2^10 scale: scale must absorb the magnitude. *)
+  let xs = Array.map (fun x -> x *. 1024.0) [| 6.0; 3.0; -1.5; 0.5 |] in
+  let b = Blockscale.quantize_block xs in
+  Alcotest.(check (array (float 0.0))) "exact at scale" xs (Blockscale.dequantize_block b)
+
+let test_blockscale_zero_block () =
+  let xs = Array.make 32 0.0 in
+  let b = Blockscale.quantize_block xs in
+  Alcotest.(check (array (float 0.0))) "zeros" xs (Blockscale.dequantize_block b)
+
+let test_blockscale_vector () =
+  let rng = Thelp.rng () in
+  let xs = Array.init 100 (fun _ -> Hnlpu_util.Rng.gaussian rng) in
+  let ys = Blockscale.dequantize (Blockscale.quantize xs) in
+  Alcotest.(check int) "length preserved" 100 (Array.length ys)
+
+let test_blockscale_error_bound () =
+  (* Gaussian data: MXFP4 RMS relative error is typically ~10%; assert a
+     generous envelope to catch regressions without overfitting. *)
+  let rng = Thelp.rng ~seed:99 () in
+  let xs = Array.init 4096 (fun _ -> Hnlpu_util.Rng.gaussian rng) in
+  let e = Blockscale.quantization_error xs in
+  Alcotest.(check bool) (Printf.sprintf "rms rel err %.3f < 0.25" e) true (e < 0.25)
+
+let prop_blockscale_max_in_range =
+  QCheck.Test.make ~name:"block scale keeps elements in E2M1 range" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 32) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let b = Blockscale.quantize_block xs in
+      Array.for_all (fun e -> Float.abs (Fp4.to_float e) <= 6.0) b.Blockscale.elements)
+
+(* --- Bitserial -------------------------------------------------------- *)
+
+let test_planes_roundtrip () =
+  let v = [| 0; 1; -1; 127; -128; 42; -7; 100 |] in
+  let ps = Bitserial.planes ~bits:8 v in
+  Alcotest.(check int) "8 planes" 8 (Array.length ps);
+  Alcotest.(check (array int)) "roundtrip" v (Bitserial.reconstruct ~bits:8 ps)
+
+let test_plane_weights () =
+  Alcotest.(check int) "lsb" 1 (Bitserial.plane_weight ~bits:8 0);
+  Alcotest.(check int) "bit 3" 8 (Bitserial.plane_weight ~bits:8 3);
+  Alcotest.(check int) "sign plane" (-128) (Bitserial.plane_weight ~bits:8 7)
+
+let test_range_check () =
+  Alcotest.(check bool) "raises" true
+    (try
+       Bitserial.check_range ~bits:8 [| 128 |];
+       false
+     with Invalid_argument _ -> true)
+
+let prop_planes_roundtrip =
+  QCheck.Test.make ~name:"bit-plane roundtrip, arbitrary widths" ~count:300
+    QCheck.(pair (int_range 2 16) (list_of_size (Gen.int_range 1 64) int))
+    (fun (bits, xs) ->
+      let lo = Bitserial.min_int_for bits and hi = Bitserial.max_int_for bits in
+      let v = Array.of_list (List.map (fun x -> lo + (abs x mod (hi - lo + 1))) xs) in
+      Bitserial.reconstruct ~bits (Bitserial.planes ~bits v) = v)
+
+let prop_dot_by_planes =
+  QCheck.Test.make ~name:"bit-serial dot = direct dot" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 64) (pair (int_range (-12) 12) (int_range (-128) 127)))
+    (fun pairs ->
+      let weights = Array.of_list (List.map fst pairs) in
+      let v = Array.of_list (List.map snd pairs) in
+      let direct =
+        Array.to_list (Array.mapi (fun i w -> w * v.(i)) weights)
+        |> List.fold_left ( + ) 0
+      in
+      Bitserial.dot_by_planes ~bits:8 ~weights v = direct)
+
+let test_popcount_plane () =
+  let p = Bytes.of_string "\001\000\001\001\000" in
+  Alcotest.(check int) "popcount" 3 (Bitserial.popcount_plane p)
+
+(* --- Csa --------------------------------------------------------------- *)
+
+let test_csa_exact_sum () =
+  let xs = [| 1; 2; 3; 4; 5; 6; 7; 255 |] in
+  let sum, _ = Csa.reduce ~width:8 xs in
+  Alcotest.(check int) "sum" (Array.fold_left ( + ) 0 xs) sum
+
+let test_csa_empty () =
+  let sum, stats = Csa.reduce ~width:8 [||] in
+  Alcotest.(check int) "zero" 0 sum;
+  Alcotest.(check int) "no adders" 0 stats.Csa.full_adders
+
+let test_csa_single () =
+  let sum, stats = Csa.reduce ~width:8 [| 200 |] in
+  Alcotest.(check int) "identity" 200 sum;
+  Alcotest.(check int) "depth 0" 0 stats.Csa.depth
+
+let test_csa_structure_grows () =
+  let _, s16 = Csa.reduce ~width:8 (Array.make 16 0) in
+  let _, s256 = Csa.reduce ~width:8 (Array.make 256 0) in
+  Alcotest.(check bool) "more operands, more adders" true
+    (s256.Csa.full_adders > s16.Csa.full_adders);
+  Alcotest.(check bool) "more operands, deeper" true (s256.Csa.depth > s16.Csa.depth)
+
+let test_csa_popcount () =
+  let p = Bytes.make 100 '\000' in
+  for i = 0 to 99 do
+    if i mod 3 = 0 then Bytes.set p i '\001'
+  done;
+  let cnt, stats = Csa.popcount p in
+  Alcotest.(check int) "count" 34 cnt;
+  Alcotest.(check bool) "uses adders" true (stats.Csa.full_adders > 0)
+
+let test_adder_depth () =
+  Alcotest.(check int) "2 rows" 0 (Csa.adder_depth 2);
+  Alcotest.(check int) "3 rows" 1 (Csa.adder_depth 3);
+  Alcotest.(check bool) "1024 rows needs many rounds" true (Csa.adder_depth 1024 >= 14)
+
+let prop_csa_sum =
+  QCheck.Test.make ~name:"CSA reduce = integer sum" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 4095))
+    (fun xs ->
+      let a = Array.of_list xs in
+      fst (Csa.reduce ~width:12 a) = List.fold_left ( + ) 0 xs)
+
+let prop_csa_stats_value_independent =
+  QCheck.Test.make ~name:"CSA structure depends only on shape" ~count:100
+    QCheck.(pair (int_range 1 100) (list_of_size (Gen.int_range 1 100) (int_range 0 255)))
+    (fun (n, xs) ->
+      ignore n;
+      let a = Array.of_list xs in
+      let _, s1 = Csa.reduce ~width:8 a in
+      let _, s2 = Csa.reduce ~width:8 (Array.make (Array.length a) 0) in
+      s1 = s2)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hnlpu_fp4"
+    [
+      ( "fp4",
+        [
+          Alcotest.test_case "decode table" `Quick test_decode_table;
+          Alcotest.test_case "of_code bounds" `Quick test_of_code_bounds;
+          Alcotest.test_case "roundtrip exact" `Quick test_roundtrip_exact;
+          Alcotest.test_case "saturation" `Quick test_of_float_saturates;
+          Alcotest.test_case "nearest rounding" `Quick test_of_float_nearest;
+          Alcotest.test_case "negation involution" `Quick test_neg_involution;
+          Alcotest.test_case "half units" `Quick test_half_units;
+        ] );
+      qsuite "fp4 properties" [ prop_of_float_is_nearest ];
+      ( "blockscale",
+        [
+          Alcotest.test_case "roundtrip representable" `Quick test_blockscale_roundtrip_representable;
+          Alcotest.test_case "power-of-two scaling" `Quick test_blockscale_scaling;
+          Alcotest.test_case "zero block" `Quick test_blockscale_zero_block;
+          Alcotest.test_case "vector api" `Quick test_blockscale_vector;
+          Alcotest.test_case "error bound" `Quick test_blockscale_error_bound;
+        ] );
+      qsuite "blockscale properties" [ prop_blockscale_max_in_range ];
+      ( "bitserial",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_planes_roundtrip;
+          Alcotest.test_case "plane weights" `Quick test_plane_weights;
+          Alcotest.test_case "range check" `Quick test_range_check;
+          Alcotest.test_case "popcount plane" `Quick test_popcount_plane;
+        ] );
+      qsuite "bitserial properties" [ prop_planes_roundtrip; prop_dot_by_planes ];
+      ( "csa",
+        [
+          Alcotest.test_case "exact sum" `Quick test_csa_exact_sum;
+          Alcotest.test_case "empty" `Quick test_csa_empty;
+          Alcotest.test_case "single" `Quick test_csa_single;
+          Alcotest.test_case "structure grows" `Quick test_csa_structure_grows;
+          Alcotest.test_case "popcount" `Quick test_csa_popcount;
+          Alcotest.test_case "adder depth" `Quick test_adder_depth;
+        ] );
+      qsuite "csa properties" [ prop_csa_sum; prop_csa_stats_value_independent ];
+    ]

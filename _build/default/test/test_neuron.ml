@@ -1,0 +1,256 @@
+open Hnlpu_neuron
+open Hnlpu_util
+
+let tech = Hnlpu_gates.Tech.n5
+
+let small_gemv ?(seed = 11) ?(inf = 64) ?(outf = 8) () =
+  let rng = Rng.create seed in
+  let g = Gemv.random rng ~in_features:inf ~out_features:outf ~act_bits:8 in
+  let x = Gemv.random_activations rng g in
+  (g, x)
+
+(* --- Gemv -------------------------------------------------------------- *)
+
+let test_gemv_reference_manual () =
+  let open Hnlpu_fp4 in
+  let weights = [| [| Fp4.of_float 2.0; Fp4.of_float (-0.5) |] |] in
+  let g = Gemv.make ~weights ~act_bits:8 in
+  (* 2*10 + (-0.5)*4 = 18 -> 36 half-units *)
+  Alcotest.(check (array int)) "dot" [| 36 |] (Gemv.reference g [| 10; 4 |]);
+  Alcotest.(check (array (float 1e-12))) "float" [| 18.0 |]
+    (Gemv.reference_float g [| 10; 4 |])
+
+let test_gemv_validation () =
+  Alcotest.(check bool) "ragged rejected" true
+    (try
+       ignore
+         (Gemv.make
+            ~weights:[| [| Hnlpu_fp4.Fp4.zero |]; [||] |]
+            ~act_bits:8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gemv_paper_shape () =
+  let g = Gemv.paper_benchmark (Rng.create 0) in
+  Alcotest.(check int) "1024 in" 1024 g.Gemv.in_features;
+  Alcotest.(check int) "128 out" 128 g.Gemv.out_features;
+  Alcotest.(check int) "64KB weights" (64 * 1024 * 8) (Gemv.weight_bits g);
+  Alcotest.(check int) "131072 macs" 131072 (Gemv.total_macs g)
+
+(* --- Machines compute the same answer ---------------------------------- *)
+
+let test_ma_matches_reference () =
+  let g, x = small_gemv () in
+  let out, _ = Mac_array.run (Mac_array.make g) x in
+  Alcotest.(check (array int)) "MA = reference" (Gemv.reference g x) out
+
+let test_ce_matches_reference () =
+  let g, x = small_gemv () in
+  let out, _ = Cell_embedding.run (Cell_embedding.make g) x in
+  Alcotest.(check (array int)) "CE = reference" (Gemv.reference g x) out
+
+let test_me_matches_reference () =
+  let g, x = small_gemv () in
+  let out, _ = Metal_embedding.run (Metal_embedding.make ~slack:4.0 g) x in
+  Alcotest.(check (array int)) "ME = reference" (Gemv.reference g x) out
+
+let test_me_extreme_activations () =
+  let rng = Rng.create 3 in
+  let g = Gemv.random rng ~in_features:32 ~out_features:4 ~act_bits:8 in
+  let me = Metal_embedding.make ~slack:4.0 g in
+  List.iter
+    (fun v ->
+      let x = Array.make 32 v in
+      let out, _ = Metal_embedding.run me x in
+      Alcotest.(check (array int))
+        (Printf.sprintf "all-%d" v)
+        (Gemv.reference g x) out)
+    [ -128; -1; 0; 1; 127 ]
+
+let test_me_single_weight_value () =
+  (* All weights identical: one region gets everything — needs slack 16. *)
+  let open Hnlpu_fp4 in
+  let weights = Array.make 2 (Array.make 20 (Fp4.of_float 3.0)) in
+  let g = Gemv.make ~weights ~act_bits:8 in
+  let me = Metal_embedding.make ~slack:16.0 g in
+  let x = Array.init 20 (fun i -> i - 10) in
+  let out, _ = Metal_embedding.run me x in
+  Alcotest.(check (array int)) "skewed routing" (Gemv.reference g x) out
+
+let test_me_slack_rejects_overflow () =
+  let open Hnlpu_fp4 in
+  let weights = [| Array.make 20 (Fp4.of_float 3.0) |] in
+  let g = Gemv.make ~weights ~act_bits:8 in
+  Alcotest.(check bool) "slack 1.0 overflows" true
+    (try
+       ignore (Metal_embedding.make ~slack:1.0 g);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_machines_agree =
+  QCheck.Test.make ~name:"MA = CE = ME = reference on random problems" ~count:60
+    QCheck.(triple small_nat small_nat (int_range 0 1000000))
+    (fun (a, b, seed) ->
+      let inf = 4 + (a mod 60) and outf = 1 + (b mod 12) in
+      let rng = Rng.create seed in
+      let g = Gemv.random rng ~in_features:inf ~out_features:outf ~act_bits:8 in
+      let x = Gemv.random_activations rng g in
+      let expect = Gemv.reference g x in
+      let ma, _ = Mac_array.run (Mac_array.make g) x in
+      let ce, _ = Cell_embedding.run (Cell_embedding.make g) x in
+      let me, _ = Metal_embedding.run (Metal_embedding.make ~slack:16.0 g) x in
+      ma = expect && ce = expect && me = expect)
+
+let prop_me_bit_widths =
+  QCheck.Test.make ~name:"ME exact across activation widths" ~count:60
+    QCheck.(pair (int_range 2 12) (int_range 0 1000000))
+    (fun (bits, seed) ->
+      let rng = Rng.create seed in
+      let g = Gemv.random rng ~in_features:24 ~out_features:3 ~act_bits:bits in
+      let x = Gemv.random_activations rng g in
+      let me, _ = Metal_embedding.run (Metal_embedding.make ~slack:16.0 g) x in
+      me = Gemv.reference g x)
+
+(* --- Figure 12: area ratios ------------------------------------------- *)
+
+let fig12_reports () =
+  let rng = Rng.create 12 in
+  let g = Gemv.paper_benchmark rng in
+  let ma = Mac_array.report (Mac_array.make g) in
+  let ce = Cell_embedding.report (Cell_embedding.make g) in
+  let me = Metal_embedding.report (Metal_embedding.make g) in
+  (ma, ce, me)
+
+let test_fig12_ce_much_bigger () =
+  let ma, ce, _ = fig12_reports () in
+  let r = Report.area_ratio ce ~baseline:ma in
+  (* Paper: 14.3x.  Our static-CMOS census is coarser than their EDA flow;
+     assert the order of magnitude. *)
+  Alcotest.(check bool) (Printf.sprintf "CE ratio %.1f in [8, 30]" r) true
+    (r >= 8.0 && r <= 30.0)
+
+let test_fig12_me_comparable_to_sram () =
+  let ma, _, me = fig12_reports () in
+  let r = Report.area_ratio me ~baseline:ma in
+  (* Paper: 0.95x. *)
+  Alcotest.(check bool) (Printf.sprintf "ME ratio %.2f in [0.4, 1.6]" r) true
+    (r >= 0.4 && r <= 1.6)
+
+let test_fig12_ordering () =
+  let ma, ce, me = fig12_reports () in
+  Alcotest.(check bool) "CE >> MA >= ME ordering" true
+    (ce.Report.area_mm2 > ma.Report.area_mm2
+    && ce.Report.area_mm2 > 10.0 *. me.Report.area_mm2)
+
+(* --- Figure 13: cycles and energy -------------------------------------- *)
+
+let test_fig13_cycles () =
+  let ma, ce, me = fig12_reports () in
+  (* Paper: MA ~150 cycles, CE and ME dramatically fewer. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "MA %d cycles in [120,180]" ma.Report.cycles)
+    true
+    (ma.Report.cycles >= 120 && ma.Report.cycles <= 180);
+  Alcotest.(check bool) (Printf.sprintf "CE %d < 10" ce.Report.cycles) true
+    (ce.Report.cycles < 10);
+  Alcotest.(check bool) (Printf.sprintf "ME %d < 20" me.Report.cycles) true
+    (me.Report.cycles < 20);
+  Alcotest.(check bool) "MA dominated" true
+    (ma.Report.cycles > 5 * max ce.Report.cycles me.Report.cycles)
+
+let test_fig13_energy_ordering () =
+  let ma, ce, me = fig12_reports () in
+  let e r = Report.energy_j tech r in
+  (* Paper: ME least, CE middle, MA most (log-scale plot 0.1–10 nJ). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ME %.2e < CE %.2e < MA %.2e" (e me) (e ce) (e ma))
+    true
+    (e me < e ce && e ce < e ma)
+
+let test_fig13_ma_energy_magnitude () =
+  let ma, _, _ = fig12_reports () in
+  let e = Report.energy_j tech ma in
+  (* ~10 nJ in the paper's plot; assert the decade. *)
+  Alcotest.(check bool) (Printf.sprintf "MA %.2e J ~ 1e-8" e) true
+    (e > 2e-9 && e < 5e-8)
+
+let test_fig13_me_energy_magnitude () =
+  let _, _, me = fig12_reports () in
+  let e = Report.energy_j tech me in
+  Alcotest.(check bool) (Printf.sprintf "ME %.2e J ~ sub-nJ" e) true
+    (e > 5e-11 && e < 2e-9)
+
+let test_ce_leakage_exceeds_me () =
+  (* The paper's explanation of CE's energy loss: leakage from its area. *)
+  let _, ce, me = fig12_reports () in
+  Alcotest.(check bool) "CE leaks more" true
+    (ce.Report.leakage_power_w > 5.0 *. me.Report.leakage_power_w)
+
+(* --- Structure --------------------------------------------------------- *)
+
+let test_me_region_accounting () =
+  let rng = Rng.create 5 in
+  let g = Gemv.random rng ~in_features:160 ~out_features:4 ~act_bits:8 in
+  let me = Metal_embedding.make ~slack:2.0 g in
+  Alcotest.(check int) "capacity = slack * n/16" 20 (Metal_embedding.region_capacity me);
+  let load = Metal_embedding.region_load me in
+  Alcotest.(check int) "16 regions" 16 (Array.length load);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "load within capacity" true (l <= 20))
+    load
+
+let test_me_serial_cycles_is_act_bits () =
+  let g, _ = small_gemv () in
+  let me = Metal_embedding.make ~slack:4.0 g in
+  Alcotest.(check int) "8 planes" 8 (Metal_embedding.serial_cycles me)
+
+let test_report_table_renders () =
+  let ma, ce, me = fig12_reports () in
+  let t = Report.to_table tech [ ma; ce; me ] in
+  let s = Table.render t in
+  Alcotest.(check bool) "mentions all designs" true
+    (Thelp.contains s "MAC array" && Thelp.contains s "Cell-Embedding"
+    && Thelp.contains s "Metal-Embedding")
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hnlpu_neuron"
+    [
+      ( "gemv",
+        [
+          Alcotest.test_case "manual reference" `Quick test_gemv_reference_manual;
+          Alcotest.test_case "validation" `Quick test_gemv_validation;
+          Alcotest.test_case "paper benchmark shape" `Quick test_gemv_paper_shape;
+        ] );
+      ( "machines",
+        [
+          Alcotest.test_case "MA = reference" `Quick test_ma_matches_reference;
+          Alcotest.test_case "CE = reference" `Quick test_ce_matches_reference;
+          Alcotest.test_case "ME = reference" `Quick test_me_matches_reference;
+          Alcotest.test_case "ME extreme activations" `Quick test_me_extreme_activations;
+          Alcotest.test_case "ME skewed weights" `Quick test_me_single_weight_value;
+          Alcotest.test_case "ME slack overflow" `Quick test_me_slack_rejects_overflow;
+        ] );
+      qsuite "machine properties" [ prop_machines_agree; prop_me_bit_widths ];
+      ( "figure-12",
+        [
+          Alcotest.test_case "CE much bigger than SRAM" `Quick test_fig12_ce_much_bigger;
+          Alcotest.test_case "ME comparable to SRAM" `Quick test_fig12_me_comparable_to_sram;
+          Alcotest.test_case "ordering" `Quick test_fig12_ordering;
+        ] );
+      ( "figure-13",
+        [
+          Alcotest.test_case "cycles" `Quick test_fig13_cycles;
+          Alcotest.test_case "energy ordering" `Quick test_fig13_energy_ordering;
+          Alcotest.test_case "MA energy magnitude" `Quick test_fig13_ma_energy_magnitude;
+          Alcotest.test_case "ME energy magnitude" `Quick test_fig13_me_energy_magnitude;
+          Alcotest.test_case "CE leakage" `Quick test_ce_leakage_exceeds_me;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "region accounting" `Quick test_me_region_accounting;
+          Alcotest.test_case "serial cycles" `Quick test_me_serial_cycles_is_act_bits;
+          Alcotest.test_case "report table" `Quick test_report_table_renders;
+        ] );
+    ]

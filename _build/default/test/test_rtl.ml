@@ -1,0 +1,154 @@
+(* Tests for the cycle-accurate ME RTL simulator and the TCO tornado
+   sensitivity analysis. *)
+
+open Hnlpu
+
+(* --- Me_rtl ----------------------------------------------------------------- *)
+
+let small seed =
+  let rng = Rng.create seed in
+  let g = Gemv.random rng ~in_features:40 ~out_features:5 ~act_bits:8 in
+  let x = Gemv.random_activations rng g in
+  (g, x)
+
+let test_rtl_final_matches_reference () =
+  let g, x = small 1 in
+  let m = Me_rtl.make ~slack:8.0 g in
+  let _, out = Me_rtl.run m x in
+  Alcotest.(check (array int)) "RTL = reference" (Gemv.reference g x) out
+
+let test_rtl_cycle_count () =
+  let g, _ = small 2 in
+  let m = Me_rtl.make ~slack:8.0 g in
+  Alcotest.(check int) "bits + 3" 11 (Me_rtl.total_cycles m);
+  let trace, _ = Me_rtl.run m (Array.make 40 1) in
+  Alcotest.(check int) "one state per cycle" 11 (List.length trace)
+
+let test_rtl_pipeline_fill () =
+  let g, x = small 3 in
+  let m = Me_rtl.make ~slack:8.0 g in
+  let trace, _ = Me_rtl.run m x in
+  (* No plane folds into the accumulator before cycle 3. *)
+  List.iter
+    (fun s ->
+      if s.Me_rtl.cycle < 3 then
+        Alcotest.(check int)
+          (Printf.sprintf "cycle %d empty" s.Me_rtl.cycle)
+          0 s.Me_rtl.planes_folded)
+    trace
+
+let test_rtl_prefix_invariant () =
+  (* At every cycle the accumulators hold exactly the partial dot product
+     over the folded planes. *)
+  let g, x = small 4 in
+  let m = Me_rtl.make ~slack:8.0 g in
+  let trace, _ = Me_rtl.run m x in
+  List.iter
+    (fun s ->
+      let expect = Me_rtl.partial_reference g x ~planes:s.Me_rtl.planes_folded in
+      Alcotest.(check (array int))
+        (Printf.sprintf "cycle %d prefix" s.Me_rtl.cycle)
+        expect s.Me_rtl.accumulators)
+    trace
+
+let test_rtl_last_plane_is_negative () =
+  (* The sign plane folds last: for all-negative activations the partial
+     sums overshoot and the final fold corrects — folded < bits partials
+     differ in sign from the final for x = -1 and positive weights. *)
+  let open Hnlpu_fp4 in
+  let weights = [| Array.make 8 (Fp4.of_float 1.0) |] in
+  let g = Gemv.make ~weights ~act_bits:8 in
+  let x = Array.make 8 (-1) in
+  let before = Me_rtl.partial_reference g x ~planes:7 in
+  let after = Me_rtl.partial_reference g x ~planes:8 in
+  Alcotest.(check bool) "positive before sign plane" true (before.(0) > 0);
+  (* 8 inputs x weight 1.0 x (-1) = -8 -> -16 half-units. *)
+  Alcotest.(check int) "exact after sign plane" (-16) after.(0)
+
+let prop_rtl_equals_functional =
+  QCheck.Test.make ~name:"RTL trace ends where the functional machine ends" ~count:30
+    QCheck.(pair (int_range 2 10) (int_range 0 100000))
+    (fun (bits, seed) ->
+      let rng = Rng.create seed in
+      let g = Gemv.random rng ~in_features:24 ~out_features:3 ~act_bits:bits in
+      let x = Gemv.random_activations rng g in
+      let _, rtl = Me_rtl.run (Me_rtl.make ~slack:16.0 g) x in
+      let fn, _ = Metal_embedding.run (Metal_embedding.make ~slack:16.0 g) x in
+      rtl = fn)
+
+(* --- Sensitivity -------------------------------------------------------------- *)
+
+let test_sensitivity_baseline () =
+  let a = Sensitivity.advantage Sensitivity.baseline in
+  (* Midpoint of the 41.7-80.4 band. *)
+  Alcotest.(check bool) (Printf.sprintf "baseline %.1fx" a) true (a > 45.0 && a < 70.0)
+
+let test_sensitivity_directions () =
+  let adv p = Sensitivity.advantage p in
+  let b = Sensitivity.baseline in
+  Alcotest.(check bool) "cheaper GPUs shrink the advantage" true
+    (adv { b with Sensitivity.gpu_price_scale = 0.5 } < adv b);
+  Alcotest.(check bool) "pricier electricity widens it" true
+    (adv { b with Sensitivity.electricity_scale = 2.0 } > adv b);
+  Alcotest.(check bool) "pricier masks shrink it" true
+    (adv { b with Sensitivity.mask_scale = 2.0 } < adv b)
+
+let test_tornado_ordering () =
+  let bars = Sensitivity.tornado () in
+  Alcotest.(check int) "seven factors" 7 (List.length bars);
+  (* Sorted by swing, descending. *)
+  let swings = List.map (fun b -> b.Sensitivity.swing) bars in
+  Alcotest.(check bool) "sorted" true (List.sort (fun a b -> compare b a) swings = swings);
+  (* The verdict must survive every single-factor 2x stress. *)
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s keeps advantage > 10x" b.Sensitivity.factor)
+        true
+        (b.Sensitivity.low_advantage > 10.0 && b.Sensitivity.high_advantage > 10.0))
+    bars
+
+let test_tornado_dominant_factors () =
+  (* Both TCOs are CapEx-dominated, so the two big levers are the mask-set
+     price (most of HNLPU's bill) and the GPU node price (most of the
+     cluster's); the energy-side factors barely move the verdict. *)
+  let bars = Sensitivity.tornado () in
+  let swing name =
+    (List.find (fun b -> b.Sensitivity.factor = name) bars).Sensitivity.swing
+  in
+  Alcotest.(check bool) "masks and GPUs are the top two" true
+    (match bars with
+    | a :: b :: _ ->
+      List.sort compare [ a.Sensitivity.factor; b.Sensitivity.factor ]
+      = [ "GPU node price"; "mask-set price" ]
+    | _ -> false);
+  Alcotest.(check bool) "electricity is a minor factor" true
+    (swing "electricity price" < 0.3 *. swing "mask-set price")
+
+let test_tornado_table () =
+  let s = Table.render (Sensitivity.to_table (Sensitivity.tornado ())) in
+  Alcotest.(check bool) "renders" true (Thelp.contains s "electricity price")
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hnlpu_rtl"
+    [
+      ( "me-rtl",
+        [
+          Alcotest.test_case "final = reference" `Quick test_rtl_final_matches_reference;
+          Alcotest.test_case "cycle count" `Quick test_rtl_cycle_count;
+          Alcotest.test_case "pipeline fill" `Quick test_rtl_pipeline_fill;
+          Alcotest.test_case "prefix invariant" `Quick test_rtl_prefix_invariant;
+          Alcotest.test_case "sign plane last" `Quick test_rtl_last_plane_is_negative;
+        ] );
+      qsuite "rtl properties" [ prop_rtl_equals_functional ];
+      ( "sensitivity",
+        [
+          Alcotest.test_case "baseline" `Quick test_sensitivity_baseline;
+          Alcotest.test_case "directions" `Quick test_sensitivity_directions;
+          Alcotest.test_case "tornado ordering" `Quick test_tornado_ordering;
+          Alcotest.test_case "dominant factors" `Quick test_tornado_dominant_factors;
+          Alcotest.test_case "table" `Quick test_tornado_table;
+        ] );
+    ]

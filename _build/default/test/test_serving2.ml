@@ -1,0 +1,182 @@
+(* Tests for speculative decoding (functional + throughput model) and
+   checkpoint serialization. *)
+
+open Hnlpu
+
+let make seed config = Transformer.create (Weights.random (Rng.create seed) config)
+
+(* --- Speculative decoding ------------------------------------------------- *)
+
+let test_spec_matches_target_greedy () =
+  (* The output must be exactly the target's greedy sequence, whatever the
+     draft proposes. *)
+  let target = make 40 Config.tiny in
+  let draft = make 41 Config.tiny_dense in
+  (* tiny_dense shares the vocab (64). *)
+  let out, stats =
+    Speculative.generate ~target ~draft ~prompt:[ 1; 2 ] ~max_new_tokens:10
+      ~lookahead:3 ()
+  in
+  let reference = make 40 Config.tiny in
+  let pure =
+    Transformer.generate (Rng.create 0) reference ~prompt:[ 1; 2 ] ~max_new_tokens:10
+      Sampler.Greedy
+  in
+  Alcotest.(check (list int)) "identical to target greedy" pure out;
+  Alcotest.(check int) "produced all" 10 stats.Speculative.produced
+
+let test_spec_self_draft_accepts_everything () =
+  let target = make 42 Config.tiny in
+  let _, stats = Speculative.self_draft ~target ~prompt:[ 5 ] ~max_new_tokens:12 ~lookahead:3 () in
+  Alcotest.(check (float 1e-9)) "acceptance 1.0" 1.0 stats.Speculative.acceptance_rate;
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f tokens/pass = lookahead+1" stats.Speculative.tokens_per_pass)
+    true
+    (Approx.close ~rel:1e-9 stats.Speculative.tokens_per_pass 4.0)
+
+let test_spec_fewer_passes_than_tokens () =
+  let target = make 43 Config.tiny in
+  let _, stats = Speculative.self_draft ~target ~prompt:[ 9 ] ~max_new_tokens:12 ~lookahead:2 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d passes < 12 tokens" stats.Speculative.target_passes)
+    true
+    (stats.Speculative.target_passes * 3 <= 12)
+
+let test_spec_stats_consistent () =
+  let target = make 44 Config.tiny in
+  let draft = make 45 Config.tiny_dense in
+  let out, stats =
+    Speculative.generate ~target ~draft ~prompt:[ 3 ] ~max_new_tokens:9 ~lookahead:4 ()
+  in
+  Alcotest.(check int) "emitted = produced" (List.length out) stats.Speculative.produced;
+  Alcotest.(check bool) "acceptance in [0,1]" true
+    (stats.Speculative.acceptance_rate >= 0.0 && stats.Speculative.acceptance_rate <= 1.0)
+
+let test_spec_validation () =
+  let target = make 46 Config.tiny in
+  let draft = make 47 Config.tiny_dense in
+  Alcotest.(check bool) "zero lookahead rejected" true
+    (try
+       ignore
+         (Speculative.generate ~target ~draft ~prompt:[ 1 ] ~max_new_tokens:4
+            ~lookahead:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_spec_throughput_model () =
+  let rows = Ablation.speculative_sweep Config.gpt_oss_120b in
+  Alcotest.(check int) "four lookaheads" 4 (List.length rows);
+  let by_k k = List.find (fun r -> r.Ablation.lookahead = k) rows in
+  (* tokens/pass grows with lookahead but saturates at 1/(1-a)+1. *)
+  Alcotest.(check bool) "expected tokens grow" true
+    ((by_k 8).Ablation.expected_tokens_per_pass > (by_k 1).Ablation.expected_tokens_per_pass);
+  (* Speculation must beat plain decode at a=0.7 (the win is bounded by
+     the per-token projection/attention work the chunk still serializes). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "k=4 speedup %.2fx" (by_k 4).Ablation.spec_speedup)
+    true
+    ((by_k 4).Ablation.spec_speedup > 1.3);
+  Alcotest.(check bool) "all lookaheads beat plain decode" true
+    (List.for_all (fun r -> r.Ablation.spec_speedup > 1.0) rows)
+
+(* --- Checkpoint -------------------------------------------------------------- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_checkpoint_roundtrip_bits () =
+  let w = Weights.random (Rng.create 50) Config.tiny in
+  let w' = Checkpoint.of_bytes (Checkpoint.to_bytes w) in
+  let a = Transformer.create w and b = Transformer.create w' in
+  let la = Transformer.prefill a [ 1; 2; 3 ] and lb = Transformer.prefill b [ 1; 2; 3 ] in
+  Alcotest.(check (float 0.0)) "bit-identical logits" 0.0 (Vec.max_abs_diff la lb)
+
+let test_checkpoint_file_roundtrip () =
+  let w = Weights.random (Rng.create 51) Config.tiny_hnlpu in
+  let path = tmp "hnlpu_ckpt_test.bin" in
+  Checkpoint.save path w;
+  let w' = Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check string) "config survives" w.Weights.config.Config.name
+    w'.Weights.config.Config.name;
+  Alcotest.(check int) "param count survives" (Weights.count_params w)
+    (Weights.count_params w')
+
+let test_checkpoint_dense_roundtrip () =
+  let w = Weights.random (Rng.create 52) Config.tiny_dense in
+  let w' = Checkpoint.of_bytes (Checkpoint.to_bytes w) in
+  Alcotest.(check bool) "router absent" true (w'.Weights.layers.(0).Weights.w_router = None)
+
+let test_checkpoint_rejects_bad_magic () =
+  let w = Weights.random (Rng.create 53) Config.tiny in
+  let b = Checkpoint.to_bytes w in
+  Bytes.set b 0 'X';
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Checkpoint.of_bytes b);
+       false
+     with Failure _ -> true)
+
+let test_checkpoint_rejects_truncation () =
+  let w = Weights.random (Rng.create 54) Config.tiny in
+  let b = Checkpoint.to_bytes w in
+  let cut = Bytes.sub b 0 (Bytes.length b - 17) in
+  Alcotest.(check bool) "truncated" true
+    (try
+       ignore (Checkpoint.of_bytes cut);
+       false
+     with Failure _ -> true)
+
+let test_checkpoint_rejects_trailing () =
+  let w = Weights.random (Rng.create 55) Config.tiny in
+  let b = Checkpoint.to_bytes w in
+  let padded = Bytes.cat b (Bytes.make 3 '\000') in
+  Alcotest.(check bool) "trailing bytes" true
+    (try
+       ignore (Checkpoint.of_bytes padded);
+       false
+     with Failure _ -> true)
+
+let test_checkpoint_size_scales () =
+  let w = Weights.random (Rng.create 56) Config.tiny in
+  let sz = Checkpoint.size_bytes w in
+  let params = Weights.count_params w in
+  (* float64 storage: >= 8 bytes per parameter, plus bounded framing. *)
+  Alcotest.(check bool) (Printf.sprintf "%d bytes for %d params" sz params) true
+    (sz >= 8 * params && sz < (8 * params) + (params / 2) + 4096)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint roundtrips arbitrary tiny models" ~count:10
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let w = Weights.random (Rng.create seed) Config.tiny in
+      let w' = Checkpoint.of_bytes (Checkpoint.to_bytes w) in
+      let a = Transformer.create w and b = Transformer.create w' in
+      Vec.max_abs_diff (Transformer.forward a ~token:1) (Transformer.forward b ~token:1)
+      = 0.0)
+
+let () =
+  Alcotest.run "hnlpu_serving2"
+    [
+      ( "speculative",
+        [
+          Alcotest.test_case "matches target greedy" `Quick test_spec_matches_target_greedy;
+          Alcotest.test_case "self-draft accepts all" `Quick test_spec_self_draft_accepts_everything;
+          Alcotest.test_case "fewer passes" `Quick test_spec_fewer_passes_than_tokens;
+          Alcotest.test_case "stats consistent" `Quick test_spec_stats_consistent;
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "throughput model" `Quick test_spec_throughput_model;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip bits" `Quick test_checkpoint_roundtrip_bits;
+          Alcotest.test_case "file roundtrip" `Quick test_checkpoint_file_roundtrip;
+          Alcotest.test_case "dense roundtrip" `Quick test_checkpoint_dense_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_checkpoint_rejects_bad_magic;
+          Alcotest.test_case "truncation" `Quick test_checkpoint_rejects_truncation;
+          Alcotest.test_case "trailing bytes" `Quick test_checkpoint_rejects_trailing;
+          Alcotest.test_case "size" `Quick test_checkpoint_size_scales;
+        ] );
+      qsuite "checkpoint properties" [ prop_checkpoint_roundtrip ];
+    ]
