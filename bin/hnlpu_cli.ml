@@ -614,6 +614,76 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Run the Hardwired-Neuron compiler on a random bank")
     Term.(const run $ inf $ outf $ seed $ show_tcl)
 
+(* --- check ----------------------------------------------------------------------- *)
+
+let check_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON diagnostics.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also print INFO diagnostics.")
+  in
+  let fixture =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fixture" ] ~docv:"RULE"
+          ~doc:
+            "Check the seeded-broken fixture for $(docv) (e.g. ME-TRACK) \
+             instead of the reference design; exits nonzero when the rule \
+             fires, as it must.")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Run every seeded-violation fixture and verify each rule catches \
+             its own violation.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the stable rule IDs and exit.")
+  in
+  let run json verbose fixture self_test list_rules =
+    if list_rules then List.iter print_endline Signoff.rules
+    else if self_test then begin
+      let failures =
+        List.filter
+          (fun rule ->
+            let ds = Signoff.check (Signoff.fixture rule) in
+            let caught = Diagnostic.has_rule ~min_severity:Diagnostic.Error rule ds in
+            Printf.printf "%-11s %s\n" rule (if caught then "caught" else "MISSED");
+            not caught)
+          Signoff.rules
+      in
+      if failures <> [] then begin
+        Printf.eprintf "self-test: %d rule(s) missed their seeded violation\n"
+          (List.length failures);
+        exit 1
+      end
+    end
+    else begin
+      let design =
+        match fixture with
+        | None -> Signoff.reference ()
+        | Some rule ->
+          (try Signoff.fixture rule
+           with Invalid_argument msg ->
+             Printf.eprintf "%s (try --rules)\n" msg;
+             exit 3)
+      in
+      let ds = Signoff.check design in
+      if json then print_string (Diagnostic.to_json ds)
+      else print_string (Diagnostic.report ~show_info:verbose ds);
+      exit (Diagnostic.exit_code ds)
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Whole-design static signoff: netlist DRC/LVS, NoC schedule and \
+          buffer/budget linting with severity-based exit codes")
+    Term.(const run $ json $ verbose $ fixture $ self_test $ list_rules)
+
 (* --- speculate ------------------------------------------------------------------- *)
 
 let speculate_cmd =
@@ -664,6 +734,7 @@ let main =
       tables_cmd; perf_cmd; tco_cmd; nre_cmd; simulate_cmd; generate_cmd;
       neuron_cmd; ablate_cmd; deploy_cmd; signoff_cmd; carbon_cmd; export_cmd;
       slo_cmd; fleet_cmd; equivalence_cmd; compile_cmd; speculate_cmd;
+      check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -113,6 +113,14 @@ module Deployment = Hnlpu_tco.Deployment
 module Carbon = Hnlpu_tco.Carbon
 module Sensitivity = Hnlpu_tco.Sensitivity
 
+(** {1 Static signoff (DRC/LVS/schedule/budget linting)} *)
+
+module Diagnostic = Hnlpu_verify.Diagnostic
+module Netlist_rules = Hnlpu_verify.Netlist_rules
+module Noc_rules = Hnlpu_verify.Noc_rules
+module System_rules = Hnlpu_verify.System_rules
+module Signoff = Hnlpu_verify.Signoff
+
 (** {1 Experiments} *)
 
 module Experiments = Experiments

@@ -104,7 +104,15 @@ let to_tcl t =
     t.wires;
   Buffer.contents buf
 
+(* of_tcl rejects malformed scripts with the line number and the first
+   offending token, so a broken hand-edited netlist points at itself. *)
+
 let of_tcl s =
+  let fail line fmt =
+    Printf.ksprintf
+      (fun msg -> failwith (Printf.sprintf "Hn_compiler.of_tcl: line %d: %s" line msg))
+      fmt
+  in
   let lines = String.split_on_char '\n' s in
   let header, rest =
     match lines with
@@ -114,22 +122,81 @@ let of_tcl s =
   let in_features, out_features, region_capacity =
     try Scanf.sscanf header "# hn-netlist in=%d out=%d cap=%d" (fun a b c -> (a, b, c))
     with Scanf.Scan_failure _ | End_of_file ->
-      failwith "Hn_compiler.of_tcl: bad header"
+      fail 1 "bad header %S (expected '# hn-netlist in=N out=N cap=N')" header
   in
+  if in_features <= 0 || out_features <= 0 then
+    fail 1 "non-positive bank shape %dx%d" in_features out_features;
+  if region_capacity <= 0 then fail 1 "non-positive capacity %d" region_capacity;
+  (* Tokens a route statement must carry, in order. *)
+  let grammar =
+    [
+      `Kw "route"; `Kw "-neuron"; `Int "neuron"; `Kw "-input"; `Int "input";
+      `Kw "-region"; `Int "region"; `Kw "-port"; `Int "port"; `Kw "-layer";
+      `Layer; `Kw "-track"; `Int "track";
+    ]
+  in
+  let parse_route lineno line =
+    let tokens =
+      List.filter (( <> ) "") (String.split_on_char ' ' (String.trim line))
+    in
+    let ints = Hashtbl.create 8 in
+    let layer = ref "" in
+    let rec walk grammar tokens =
+      match (grammar, tokens) with
+      | [], [] -> ()
+      | [], tok :: _ -> fail lineno "trailing token %S" tok
+      | `Kw kw :: _, [] -> fail lineno "truncated statement: missing %S" kw
+      | `Int field :: _, [] -> fail lineno "truncated statement: missing <%s>" field
+      | `Layer :: _, [] -> fail lineno "truncated statement: missing <layer>"
+      | `Kw kw :: g, tok :: t ->
+        if tok <> kw then fail lineno "expected %S, got token %S" kw tok;
+        walk g t
+      | `Int field :: g, tok :: t ->
+        (match int_of_string_opt tok with
+        | Some v when v >= 0 -> Hashtbl.replace ints field v
+        | Some v -> fail lineno "negative %s %d" field v
+        | None -> fail lineno "bad %s token %S (expected an integer)" field tok);
+        walk g t
+      | `Layer :: g, tok :: t ->
+        if not (Array.exists (( = ) tok) layers) then
+          fail lineno "bad layer name %S (metal embedding uses M8-M11)" tok;
+        layer := tok;
+        walk g t
+    in
+    walk grammar tokens;
+    let get field = Hashtbl.find ints field in
+    let neuron = get "neuron" and input = get "input" in
+    if neuron >= out_features then
+      fail lineno "neuron %d outside the %d-neuron bank" neuron out_features;
+    if input >= in_features then
+      fail lineno "input %d outside the %d-input bank" input in_features;
+    if get "region" > 15 then fail lineno "region %d outside E2M1's 16 codes" (get "region");
+    {
+      neuron;
+      input;
+      region = get "region";
+      port = get "port";
+      layer = !layer;
+      track = get "track";
+    }
+  in
+  let seen = Hashtbl.create 1024 in
   let wires =
-    List.filter_map
-      (fun line ->
-        if String.trim line = "" then None
-        else
-          try
-            Some
-              (Scanf.sscanf line
-                 "route -neuron %d -input %d -region %d -port %d -layer %s -track %d"
-                 (fun neuron input region port layer track ->
-                   { neuron; input; region; port; layer; track }))
-          with Scanf.Scan_failure _ | End_of_file ->
-            failwith ("Hn_compiler.of_tcl: bad line: " ^ line))
-      rest
+    List.concat
+      (List.mapi
+         (fun i line ->
+           let lineno = i + 2 in
+           if String.trim line = "" then []
+           else begin
+             let w = parse_route lineno line in
+             (match Hashtbl.find_opt seen (w.neuron, w.input) with
+             | Some first ->
+               fail lineno "duplicate wire for neuron %d input %d (first at line %d)"
+                 w.neuron w.input first
+             | None -> Hashtbl.add seen (w.neuron, w.input) lineno);
+             [ w ]
+           end)
+         rest)
   in
   { in_features; out_features; region_capacity; wires }
 
@@ -179,35 +246,59 @@ let lvs t (g : Gemv.t) =
   with Failure _ -> false
 
 type drc_violation =
-  | Track_conflict of string * int
-  | Port_overflow of int * int
-  | Out_of_window of string
+  | Track_conflict of string * int * wire list
+  | Port_overflow of int * int * wire list
+  | Out_of_window of wire
+
+(* The compiler hands layer (neuron + input) mod 4 to each wire, so a row
+   of n inputs puts at most ceil(n/4) wires on any one layer, and the
+   per-layer track counter never exceeds out * ceil(in/4).  That is the
+   exact window the reticle must provision — not "comfortably above". *)
+let max_tracks_per_layer t =
+  let l = Array.length layers in
+  t.out_features * ((t.in_features + l - 1) / l)
 
 let drc ?tracks_per_layer t =
   let limit =
     match tracks_per_layer with
     | Some n -> n
-    | None -> (wire_count t / Array.length layers) + 2
+    | None -> max_tracks_per_layer t
   in
   let violations = ref [] in
-  let used = Hashtbl.create 1024 in
-  let ports = Hashtbl.create 1024 in
+  let used : (string * int, wire list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let ports : (int * int, wire list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let push tbl key w =
+    match Hashtbl.find_opt tbl key with
+    | Some ws -> ws := w :: !ws
+    | None -> Hashtbl.add tbl key (ref [ w ])
+  in
   List.iter
     (fun w ->
       if not (Array.exists (( = ) w.layer) layers) then
-        violations := Out_of_window w.layer :: !violations;
-      if w.track >= limit then violations := Out_of_window w.layer :: !violations;
-      let key = (w.layer, w.track) in
-      if Hashtbl.mem used key then
-        violations := Track_conflict (w.layer, w.track) :: !violations
-      else Hashtbl.add used key ();
-      let pkey = (w.neuron, w.region) in
-      let count = (try Hashtbl.find ports pkey with Not_found -> 0) + 1 in
-      Hashtbl.replace ports pkey count;
-      if count > t.region_capacity then
-        violations := Port_overflow (w.neuron, w.region) :: !violations)
+        violations := Out_of_window w :: !violations;
+      if w.track < 0 || w.track >= limit then
+        violations := Out_of_window w :: !violations;
+      push used (w.layer, w.track) w;
+      push ports (w.neuron, w.region) w)
     t.wires;
+  let conflicts = ref [] in
+  Hashtbl.iter
+    (fun (layer, track) ws ->
+      if List.length !ws > 1 then
+        conflicts := Track_conflict (layer, track, List.rev !ws) :: !conflicts)
+    used;
+  Hashtbl.iter
+    (fun (neuron, region) ws ->
+      if List.length !ws > t.region_capacity then
+        conflicts := Port_overflow (neuron, region, List.rev !ws) :: !conflicts)
+    ports;
+  let key = function
+    | Track_conflict (l, t, _) -> (0, t, 0, l)
+    | Port_overflow (n, r, _) -> (1, n, r, "")
+    | Out_of_window w -> (2, w.neuron, w.input, w.layer)
+  in
   List.rev !violations
+  @ List.sort (fun a b -> compare (key a) (key b)) !conflicts
 
 let report t =
   let per_layer = Hashtbl.create 8 in

@@ -34,6 +34,9 @@ type netlist = {
   wires : wire list;    (** Exactly in_features x out_features wires. *)
 }
 
+val layers : string array
+(** The metal-embedding routing window, M8..M11 in order. *)
+
 val compile : ?slack:float -> Hnlpu_neuron.Gemv.t -> netlist
 (** Raises [Invalid_argument] when a region overflows its slacked
     capacity (same rule as {!Hnlpu_neuron.Metal_embedding.make}). *)
@@ -42,7 +45,10 @@ val to_tcl : netlist -> string
 (** The P&R connection script ("create_net/route" pseudo-TCL). *)
 
 val of_tcl : string -> netlist
-(** Parse a script back.  Raises [Failure] on malformed input. *)
+(** Parse a script back.  Raises [Failure] naming the line number and the
+    offending token on malformed input: bad header, truncated statement,
+    unknown layer, out-of-bank indices, or a duplicate (neuron, input)
+    wire. *)
 
 val lvs : netlist -> Hnlpu_neuron.Gemv.t -> bool
 (** Layout-versus-schematic: the wires encode exactly the given weights. *)
@@ -51,13 +57,22 @@ val extract_weights : netlist -> Hnlpu_fp4.Fp4.t array array
 (** Reconstruct the weight matrix from the wires alone. *)
 
 type drc_violation =
-  | Track_conflict of string * int      (** Two wires share (layer, track). *)
-  | Port_overflow of int * int          (** (neuron, region) beyond capacity. *)
-  | Out_of_window of string             (** Unknown routing layer. *)
+  | Track_conflict of string * int * wire list
+      (** The wires sharing one (layer, track). *)
+  | Port_overflow of int * int * wire list
+      (** All wires crowding a (neuron, region) beyond capacity. *)
+  | Out_of_window of wire
+      (** Wire on an unknown routing layer or a track beyond the window. *)
+
+val max_tracks_per_layer : netlist -> int
+(** The exact per-layer track window the compiler's round-robin assignment
+    can reach for this bank shape: [out * ceil(in / 4)]. *)
 
 val drc : ?tracks_per_layer:int -> netlist -> drc_violation list
-(** Empty list = DRC clean.  [tracks_per_layer] defaults to a value
-    comfortably above the compiler's assignment range. *)
+(** Empty list = DRC clean.  [tracks_per_layer] defaults to
+    {!max_tracks_per_layer} — the bound derived from the compiler's own
+    assignment range.  Each violation carries the offending wires so
+    downstream diagnostics can point at them. *)
 
 val wire_count : netlist -> int
 

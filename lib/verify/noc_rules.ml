@@ -1,0 +1,185 @@
+open Hnlpu_noc
+
+type collective =
+  | Reduce of { root : Topology.chip; group : Topology.chip list; bytes : int }
+  | Broadcast of { root : Topology.chip; group : Topology.chip list; bytes : int }
+  | All_reduce of { group : Topology.chip list; bytes : int }
+  | All_gather of { group : Topology.chip list; shard_bytes : int }
+  | Scatter of { root : Topology.chip; group : Topology.chip list; shard_bytes : int }
+  | Raw
+
+let links ~subject (plan : Schedule.t) =
+  List.concat
+    (List.mapi
+       (fun step transfers ->
+         List.filter_map
+           (fun { Schedule.src; dst; bytes = _ } ->
+             if Topology.valid src && Topology.valid dst && Topology.connected src dst
+             then None
+             else
+               Some
+                 (Diagnostic.error ~rule:"NOC-LINK" ~subject
+                    "step %d: chip %d -> chip %d is not a fabric link (row %s, \
+                     col %s)" step src dst
+                    (if Topology.valid src && Topology.valid dst
+                       && Topology.row_of src = Topology.row_of dst
+                     then "shared" else "distinct")
+                    (if Topology.valid src && Topology.valid dst
+                       && Topology.col_of src = Topology.col_of dst
+                     then "shared" else "distinct")))
+           transfers)
+       plan)
+
+let contention ~subject (plan : Schedule.t) =
+  List.concat
+    (List.mapi
+       (fun step transfers ->
+         let tx = Hashtbl.create 16 and rx = Hashtbl.create 16 in
+         List.iter
+           (fun { Schedule.src; dst; bytes = _ } ->
+             Hashtbl.replace tx (src, dst)
+               (1 + Option.value ~default:0 (Hashtbl.find_opt tx (src, dst)));
+             Hashtbl.replace rx dst
+               (1 + Option.value ~default:0 (Hashtbl.find_opt rx dst)))
+           transfers;
+         let tx_errors =
+           Hashtbl.fold
+             (fun (src, dst) n acc ->
+               if n > 1 then
+                 Diagnostic.error ~rule:"NOC-PORT" ~subject
+                   "step %d: chip %d drives the link to chip %d with %d \
+                    concurrent transfers (one TX stream per link)" step src dst n
+                 :: acc
+               else acc)
+             tx []
+         in
+         let rx_errors =
+           Hashtbl.fold
+             (fun dst n acc ->
+               if Topology.valid dst && n > Topology.degree dst then
+                 Diagnostic.error ~rule:"NOC-PORT" ~subject
+                   "step %d: chip %d merges %d incoming streams (degree %d)"
+                   step dst n (Topology.degree dst)
+                 :: acc
+               else acc)
+             rx []
+         in
+         List.sort compare tx_errors @ List.sort compare rx_errors)
+       plan)
+
+(* Byte accounting over the whole plan: how much each chip injects and
+   takes delivery of, regardless of step structure. *)
+let tally (plan : Schedule.t) =
+  let sent = Hashtbl.create 16 and received = Hashtbl.create 16 in
+  List.iter
+    (fun transfers ->
+      List.iter
+        (fun { Schedule.src; dst; bytes } ->
+          Hashtbl.replace sent src
+            (bytes + Option.value ~default:0 (Hashtbl.find_opt sent src));
+          Hashtbl.replace received dst
+            (bytes + Option.value ~default:0 (Hashtbl.find_opt received dst)))
+        transfers)
+    plan;
+  let of_tbl tbl c = Option.value ~default:0 (Hashtbl.find_opt tbl c) in
+  (of_tbl sent, of_tbl received)
+
+let stray_endpoints ~subject group (plan : Schedule.t) =
+  let in_group c = List.mem c group in
+  List.concat_map
+    (fun transfers ->
+      List.filter_map
+        (fun { Schedule.src; dst; bytes = _ } ->
+          if in_group src && in_group dst then None
+          else
+            Some
+              (Diagnostic.error ~rule:"NOC-BYTES" ~subject
+                 "transfer chip %d -> chip %d leaves the declared group" src dst))
+        transfers)
+    plan
+
+let expect ~subject ~what ~chip ~got ~want =
+  if got = want then []
+  else
+    [
+      Diagnostic.error ~rule:"NOC-BYTES" ~subject
+        "chip %d %s %d B, expected %d B" chip what got want;
+    ]
+
+let conservation ~subject coll (plan : Schedule.t) =
+  let sent, received = tally plan in
+  let peers root group = List.filter (( <> ) root) group in
+  match coll with
+  | Raw -> []
+  | Reduce { root; group; bytes } ->
+    stray_endpoints ~subject group plan
+    @ expect ~subject ~what:"delivers to the root" ~chip:root ~got:(received root)
+        ~want:((List.length group - 1) * bytes)
+    @ List.concat_map
+        (fun p ->
+          expect ~subject ~what:"injects its partial of" ~chip:p ~got:(sent p)
+            ~want:bytes)
+        (peers root group)
+  | Broadcast { root; group; bytes } ->
+    stray_endpoints ~subject group plan
+    @ expect ~subject ~what:"fans out" ~chip:root ~got:(sent root)
+        ~want:((List.length group - 1) * bytes)
+    @ List.concat_map
+        (fun p ->
+          expect ~subject ~what:"takes delivery of" ~chip:p ~got:(received p)
+            ~want:bytes)
+        (peers root group)
+  | All_reduce { group; bytes } ->
+    (* Reference shape: reduce to the lowest chip, then broadcast back. *)
+    let root = List.fold_left min max_int group in
+    let k = List.length group in
+    stray_endpoints ~subject group plan
+    @ expect ~subject ~what:"merges" ~chip:root ~got:(received root)
+        ~want:((k - 1) * bytes)
+    @ expect ~subject ~what:"fans out" ~chip:root ~got:(sent root)
+        ~want:((k - 1) * bytes)
+    @ List.concat_map
+        (fun p ->
+          expect ~subject ~what:"injects its partial of" ~chip:p ~got:(sent p)
+            ~want:bytes
+          @ expect ~subject ~what:"takes delivery of" ~chip:p ~got:(received p)
+              ~want:bytes)
+        (peers root group)
+  | All_gather { group; shard_bytes } ->
+    let k = List.length group in
+    stray_endpoints ~subject group plan
+    @ List.concat_map
+        (fun c ->
+          expect ~subject ~what:"forwards" ~chip:c ~got:(sent c)
+            ~want:((k - 1) * shard_bytes)
+          @ expect ~subject ~what:"collects" ~chip:c ~got:(received c)
+              ~want:((k - 1) * shard_bytes))
+        group
+  | Scatter { root; group; shard_bytes } ->
+    stray_endpoints ~subject group plan
+    @ expect ~subject ~what:"scatters" ~chip:root ~got:(sent root)
+        ~want:((List.length group - 1) * shard_bytes)
+    @ List.concat_map
+        (fun p ->
+          expect ~subject ~what:"takes delivery of" ~chip:p ~got:(received p)
+            ~want:shard_bytes)
+        (peers root group)
+
+let check ~subject coll plan =
+  let ds =
+    links ~subject plan @ contention ~subject plan
+    @ conservation ~subject coll plan
+  in
+  if ds = [] then
+    [
+      Diagnostic.info ~rule:"NOC-BYTES" ~subject
+        "%d step(s), %d transfer(s), %d B moved — links, ports and byte \
+         conservation clean"
+        (List.length plan)
+        (Schedule.transfer_count plan)
+        (List.fold_left
+           (fun acc step ->
+             List.fold_left (fun a { Schedule.bytes; _ } -> a + bytes) acc step)
+           0 plan);
+    ]
+  else ds

@@ -1,0 +1,51 @@
+(** NoC signoff rules over {!Hnlpu_noc.Schedule} collective plans.
+
+    Rule IDs:
+    - [NOC-LINK]  — every transfer must ride an existing row/column link
+      of the 4x4 fabric ({!Hnlpu_noc.Topology.connected}).
+    - [NOC-PORT]  — per-step port contention: one TX stream per directed
+      link, and no chip merges more incoming streams than its degree.
+    - [NOC-BYTES] — byte conservation for the reference collective
+      shapes: a reduce must deliver every peer's full partial to the
+      root, a broadcast the payload to every peer, an all-gather all
+      [k-1] shards to every member, etc.  Plans touching chips outside
+      the declared group are also flagged here. *)
+
+(** What a plan claims to compute; conservation is checked against the
+    reference shapes {!Hnlpu_noc.Schedule} emits (star reduce/broadcast,
+    reduce-then-broadcast all-reduce, ring all-gather). [Raw] plans get
+    link and contention checks only. *)
+type collective =
+  | Reduce of {
+      root : Hnlpu_noc.Topology.chip;
+      group : Hnlpu_noc.Topology.chip list;
+      bytes : int;
+    }
+  | Broadcast of {
+      root : Hnlpu_noc.Topology.chip;
+      group : Hnlpu_noc.Topology.chip list;
+      bytes : int;
+    }
+  | All_reduce of { group : Hnlpu_noc.Topology.chip list; bytes : int }
+  | All_gather of { group : Hnlpu_noc.Topology.chip list; shard_bytes : int }
+  | Scatter of {
+      root : Hnlpu_noc.Topology.chip;
+      group : Hnlpu_noc.Topology.chip list;
+      shard_bytes : int;
+    }
+  | Raw
+
+val links : subject:string -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
+(** [NOC-LINK], with the step index and both endpoints. *)
+
+val contention : subject:string -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
+(** [NOC-PORT]: same-step TX duplicates on one directed link, RX merges
+    beyond the chip's degree. *)
+
+val conservation :
+  subject:string -> collective -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
+(** [NOC-BYTES] against the declared collective. *)
+
+val check :
+  subject:string -> collective -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
+(** All three rule families, plus an [Info] plan summary when clean. *)

@@ -1,0 +1,207 @@
+open Hnlpu_util
+open Hnlpu_neuron
+open Hnlpu_litho
+open Hnlpu_noc
+open Hnlpu_model
+open Hnlpu_system
+
+type chip_design = {
+  chip : Topology.chip;
+  netlist : Hn_compiler.netlist;
+  schematic : Gemv.t;
+}
+
+type design = {
+  config : Config.t;
+  chips : chip_design list;
+  plans : (string * Noc_rules.collective * Schedule.t) list;
+  stage_map : System_rules.stage_slot list;
+  claimed_slots : int;
+  max_context : int;
+}
+
+let reference ?(seed = 42) ?(bank_in = 48) ?(bank_out = 6) () =
+  let config = Config.gpt_oss_120b in
+  let chips =
+    List.map
+      (fun chip ->
+        let g =
+          Gemv.random (Rng.create (seed + chip)) ~in_features:bank_in
+            ~out_features:bank_out ~act_bits:8
+        in
+        (* Slack 16 admits any region skew a random FP4 row can produce. *)
+        { chip; netlist = Hn_compiler.compile ~slack:16.0 g; schematic = g })
+      Topology.all_chips
+  in
+  let bytes = Config.q_dim config / Topology.cols * 2 in
+  let plans =
+    List.map
+      (fun col ->
+        let group = Topology.col_group col in
+        ( Printf.sprintf "all-reduce.col%d" col,
+          Noc_rules.All_reduce { group; bytes },
+          Schedule.all_reduce ~group ~bytes ))
+      [ 0; 1; 2; 3 ]
+    @ List.map
+        (fun row ->
+          let group = Topology.row_group row in
+          ( Printf.sprintf "all-gather.row%d" row,
+            Noc_rules.All_gather { group; shard_bytes = bytes },
+            Schedule.all_gather ~group ~shard_bytes:bytes ))
+        [ 0; 1; 2; 3 ]
+    @ [
+        ( "reduce.row0",
+          Noc_rules.Reduce { root = 0; group = Topology.row_group 0; bytes },
+          Schedule.reduce ~root:0 ~group:(Topology.row_group 0) ~bytes );
+        ( "broadcast.col0",
+          Noc_rules.Broadcast { root = 0; group = Topology.col_group 0; bytes },
+          Schedule.broadcast ~root:0 ~group:(Topology.col_group 0) ~bytes );
+        ( "scatter.row3",
+          Noc_rules.Scatter
+            { root = 15; group = Topology.row_group 3; shard_bytes = bytes },
+          Schedule.scatter ~root:15 ~group:(Topology.row_group 3)
+            ~shard_bytes:bytes );
+        ( "all-chip.all-reduce",
+          Noc_rules.Raw,
+          Schedule.all_chip_all_reduce ~bytes );
+      ]
+  in
+  {
+    config;
+    chips;
+    plans;
+    stage_map = System_rules.canonical_stage_map config;
+    claimed_slots = Perf.pipeline_slots config;
+    max_context = 65536;
+  }
+
+let check d =
+  let subject_of chip = Printf.sprintf "chip%02d" chip in
+  List.concat_map
+    (fun cd ->
+      Netlist_rules.check_chip ~subject:(subject_of cd.chip) cd.netlist
+        cd.schematic)
+    d.chips
+  @ Netlist_rules.mask_uniformity
+      (List.map (fun cd -> (subject_of cd.chip, cd.netlist)) d.chips)
+  @ List.concat_map
+      (fun (name, coll, plan) -> Noc_rules.check ~subject:name coll plan)
+      d.plans
+  @ System_rules.pipeline_mapping ~subject:"pipeline" d.config d.stage_map
+  @ System_rules.weight_partition ~subject:"mapping" d.config
+  @ System_rules.buffer_budget ~subject:"attention-buffer" d.config
+      ~max_context:d.max_context
+  @ System_rules.scheduler_slots ~subject:"scheduler" d.config
+      ~claimed_slots:d.claimed_slots
+
+let rules =
+  [
+    "ME-CONGEST"; "ME-TRACK"; "ME-PORT"; "ME-WINDOW"; "ME-MASK"; "ME-LVS";
+    "NOC-LINK"; "NOC-PORT"; "NOC-BYTES"; "PIPE-MAP"; "BUF-OVFL"; "SCHED-SLOT";
+  ]
+
+(* --- Seeded-broken fixtures: one violation per rule ------------------------ *)
+
+let map_chip target f d =
+  {
+    d with
+    chips =
+      List.map
+        (fun cd -> if cd.chip = target then { cd with netlist = f cd.netlist } else cd)
+        d.chips;
+  }
+
+let map_wires f (n : Hn_compiler.netlist) =
+  { n with Hn_compiler.wires = f n.Hn_compiler.wires }
+
+let map_plan target f d =
+  {
+    d with
+    plans =
+      List.map
+        (fun (name, coll, plan) ->
+          if name = target then (name, coll, f plan) else (name, coll, plan))
+        d.plans;
+  }
+
+let fixture rule =
+  let d = reference () in
+  match rule with
+  | "ME-CONGEST" ->
+    (* Pile every wire of chip 0 onto M8: distinct tracks, but four layers'
+       worth of wires on one layer's window. *)
+    map_chip 0
+      (map_wires
+         (List.mapi (fun i w -> { w with Hn_compiler.layer = "M8"; track = i })))
+      d
+  | "ME-TRACK" ->
+    map_chip 0
+      (map_wires (function
+        | w1 :: w2 :: rest ->
+          w1
+          :: { w2 with Hn_compiler.layer = w1.Hn_compiler.layer;
+                       track = w1.Hn_compiler.track }
+          :: rest
+        | ws -> ws))
+      d
+  | "ME-PORT" ->
+    (* Shrink every chip's port capacity to zero: uniform across the 16
+       masks, but every region port now overflows. *)
+    {
+      d with
+      chips =
+        List.map
+          (fun cd ->
+            { cd with netlist = { cd.netlist with Hn_compiler.region_capacity = 0 } })
+          d.chips;
+    }
+  | "ME-WINDOW" ->
+    map_chip 0
+      (map_wires (function
+        | w :: rest -> { w with Hn_compiler.layer = "M3" } :: rest
+        | ws -> ws))
+      d
+  | "ME-MASK" ->
+    map_chip 3
+      (fun n ->
+        { n with Hn_compiler.region_capacity = n.Hn_compiler.region_capacity + 1 })
+      d
+  | "ME-LVS" ->
+    map_chip 0
+      (map_wires (function
+        | w :: rest ->
+          { w with Hn_compiler.region = (w.Hn_compiler.region + 1) mod 16 } :: rest
+        | ws -> ws))
+      d
+  | "NOC-LINK" ->
+    (* Divert one reduce transfer to a diagonal chip: no such link. *)
+    map_plan "reduce.row0"
+      (List.map (function
+        | { Schedule.src; dst = _; bytes } :: rest ->
+          let diagonal =
+            Topology.chip_at
+              ~row:((Topology.row_of src + 1) mod Topology.rows)
+              ~col:((Topology.col_of src + 1) mod Topology.cols)
+          in
+          { Schedule.src; dst = diagonal; bytes } :: rest
+        | step -> step))
+      d
+  | "NOC-PORT" ->
+    map_plan "broadcast.col0"
+      (List.map (function t :: rest -> t :: t :: rest | step -> step))
+      d
+  | "NOC-BYTES" ->
+    map_plan "reduce.row0"
+      (List.map (function _ :: rest -> rest | step -> step))
+      d
+  | "PIPE-MAP" ->
+    {
+      d with
+      stage_map =
+        (match d.stage_map with
+        | _ :: b :: rest -> b :: b :: rest
+        | short -> short);
+    }
+  | "BUF-OVFL" -> { d with max_context = 64 * 1024 * 1024 }
+  | "SCHED-SLOT" -> { d with claimed_slots = d.claimed_slots - 17 }
+  | other -> invalid_arg ("Signoff.fixture: unknown rule " ^ other)

@@ -1,0 +1,43 @@
+(** Whole-design static signoff: bundle compiled artifacts — per-chip ME
+    netlists, collective plans, the stage mapping, buffer budgets — and run
+    every rule family over them (paper §3.2's DRC/LVS gate generalized to
+    the whole system).
+
+    [hnlpu check] builds {!reference} (the gpt-oss 120B design with one
+    representative neuron bank per chip), runs {!check}, prints the report
+    and exits by severity.  {!fixture} returns the same design with one
+    seeded violation per rule ID — the negative controls proving each rule
+    actually fires. *)
+
+type chip_design = {
+  chip : Hnlpu_noc.Topology.chip;
+  netlist : Hnlpu_litho.Hn_compiler.netlist;
+  schematic : Hnlpu_neuron.Gemv.t;
+}
+
+type design = {
+  config : Hnlpu_model.Config.t;
+  chips : chip_design list;          (** One ME netlist per fabric chip. *)
+  plans : (string * Noc_rules.collective * Hnlpu_noc.Schedule.t) list;
+  stage_map : System_rules.stage_slot list;
+  claimed_slots : int;               (** What the scheduler batches against. *)
+  max_context : int;                 (** Worst case the buffers must absorb. *)
+}
+
+val reference : ?seed:int -> ?bank_in:int -> ?bank_out:int -> unit -> design
+(** The gpt-oss 120B reference design: 16 chips each carrying a compiled
+    [bank_in x bank_out] (default 48x6) representative neuron bank, the
+    row/column collective plans the dataflow uses, the canonical stage
+    map, and a 64K worst-case context.  Signoff-clean by construction. *)
+
+val check : design -> Diagnostic.t list
+(** The full rule set: per-chip congestion/DRC/LVS, cross-chip mask
+    uniformity, per-plan link/port/byte checks, pipeline mapping, weight
+    partition, buffer budget, scheduler slots. *)
+
+val rules : string list
+(** Every stable rule ID, for [--fixture] enumeration and self-tests. *)
+
+val fixture : string -> design
+(** [fixture rule] is {!reference} with one seeded violation of [rule].
+    Raises [Invalid_argument] for an unknown rule ID. *)

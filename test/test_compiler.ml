@@ -55,6 +55,49 @@ let test_drc_detects_bad_layer () =
        (function Hn_compiler.Out_of_window _ -> true | _ -> false)
        (Hn_compiler.drc broken))
 
+let test_drc_derived_bound () =
+  (* The compiler assigns layer (neuron + input) mod 4, so a bank can never
+     legitimately need more than out * ceil(in/4) tracks on one layer — the
+     default DRC window.  48x6 -> 72. *)
+  let n = Hn_compiler.compile ~slack:4.0 (small_gemv 11) in
+  Alcotest.(check int) "48x6 window" 72 (Hn_compiler.max_tracks_per_layer n);
+  Alcotest.(check int) "compiled netlist inside it" 0
+    (List.length (Hn_compiler.drc n));
+  (* A track at exactly the window edge is out; one below is in. *)
+  let with_track track =
+    match n.Hn_compiler.wires with
+    | w :: rest ->
+      { n with Hn_compiler.wires = { w with Hn_compiler.track = track } :: rest }
+    | _ -> Alcotest.fail "expected wires"
+  in
+  Alcotest.(check bool) "track 72 rejected" true
+    (List.exists
+       (function Hn_compiler.Out_of_window _ -> true | _ -> false)
+       (Hn_compiler.drc (with_track 72)));
+  Alcotest.(check bool) "track 71 tolerated by the window rule" false
+    (List.exists
+       (function Hn_compiler.Out_of_window _ -> true | _ -> false)
+       (Hn_compiler.drc (with_track 71)))
+
+let test_drc_violations_carry_wires () =
+  let n = Hn_compiler.compile ~slack:4.0 (small_gemv 12) in
+  let broken =
+    match n.Hn_compiler.wires with
+    | w1 :: w2 :: rest ->
+      { n with Hn_compiler.wires = w1 :: { w2 with Hn_compiler.layer = w1.Hn_compiler.layer;
+                                                    track = w1.Hn_compiler.track } :: rest }
+    | _ -> Alcotest.fail "expected wires"
+  in
+  match Hn_compiler.drc broken with
+  | [ Hn_compiler.Track_conflict (layer, track, ws) ] ->
+    Alcotest.(check int) "both offenders listed" 2 (List.length ws);
+    List.iter
+      (fun (w : Hn_compiler.wire) ->
+        Alcotest.(check string) "on the conflict layer" layer w.Hn_compiler.layer;
+        Alcotest.(check int) "on the conflict track" track w.Hn_compiler.track)
+      ws
+  | vs -> Alcotest.failf "expected one track conflict, got %d violations" (List.length vs)
+
 (* --- Compiler: LVS -------------------------------------------------------- *)
 
 let test_lvs_passes () =
@@ -104,6 +147,56 @@ let test_tcl_rejects_garbage () =
        ignore (Hn_compiler.of_tcl "nonsense");
        false
      with Failure _ -> true)
+
+(* of_tcl failure messages must carry the line number and the offending
+   token, so a multi-million-line reticle script is debuggable. *)
+let failure_of script =
+  match Hn_compiler.of_tcl script with
+  | exception Failure msg -> msg
+  | _ -> Alcotest.fail "expected of_tcl to reject the script"
+
+let test_tcl_truncated_statement () =
+  let tcl = Hn_compiler.to_tcl (Hn_compiler.compile ~slack:4.0 (small_gemv 13)) in
+  (* Cut the script mid-way through its final route statement. *)
+  let cut =
+    match String.rindex_opt (String.trim tcl) '-' with
+    | Some i -> String.sub tcl 0 i
+    | None -> Alcotest.fail "expected route statements"
+  in
+  let msg = failure_of cut in
+  Alcotest.(check bool) "names the line and the gap" true
+    (Thelp.contains msg "line" && Thelp.contains msg "truncated")
+
+let test_tcl_duplicate_wire () =
+  let tcl = Hn_compiler.to_tcl (Hn_compiler.compile ~slack:4.0 (small_gemv 14)) in
+  let dup =
+    match String.split_on_char '\n' (String.trim tcl) with
+    | header :: (route :: _ as routes) ->
+      String.concat "\n" ((header :: routes) @ [ route ])
+    | _ -> Alcotest.fail "expected route statements"
+  in
+  let msg = failure_of dup in
+  Alcotest.(check bool) "points at both lines" true
+    (Thelp.contains msg "duplicate wire"
+    && Thelp.contains msg "first at line 2")
+
+let test_tcl_bad_layer_name () =
+  let msg =
+    failure_of
+      "# hn-netlist in=4 out=1 cap=4\n\
+       route -neuron 0 -input 0 -region 0 -port 0 -layer M3 -track 0"
+  in
+  Alcotest.(check bool) "names the layer window" true
+    (Thelp.contains msg "line 2" && Thelp.contains msg "M8-M11")
+
+let test_tcl_bad_integer_token () =
+  let msg =
+    failure_of
+      "# hn-netlist in=4 out=1 cap=4\n\
+       route -neuron zero -input 0 -region 0 -port 0 -layer M8 -track 0"
+  in
+  Alcotest.(check bool) "names token and line 2" true
+    (Thelp.contains msg "line 2" && Thelp.contains msg "\"zero\"")
 
 let prop_compile_lvs_always =
   QCheck.Test.make ~name:"compile then LVS always passes" ~count:40
@@ -223,6 +316,9 @@ let () =
           Alcotest.test_case "drc clean" `Quick test_compile_drc_clean;
           Alcotest.test_case "drc track conflict" `Quick test_drc_detects_conflicts;
           Alcotest.test_case "drc bad layer" `Quick test_drc_detects_bad_layer;
+          Alcotest.test_case "drc derived bound" `Quick test_drc_derived_bound;
+          Alcotest.test_case "drc violations carry wires" `Quick
+            test_drc_violations_carry_wires;
           Alcotest.test_case "full-width neuron" `Quick test_compile_full_width_neuron;
         ] );
       ( "lvs",
@@ -235,6 +331,10 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_tcl_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_tcl_rejects_garbage;
+          Alcotest.test_case "truncated statement" `Quick test_tcl_truncated_statement;
+          Alcotest.test_case "duplicate wire" `Quick test_tcl_duplicate_wire;
+          Alcotest.test_case "bad layer name" `Quick test_tcl_bad_layer_name;
+          Alcotest.test_case "bad integer token" `Quick test_tcl_bad_integer_token;
           Alcotest.test_case "report" `Quick test_report_renders;
         ] );
       qsuite "compiler properties" [ prop_compile_lvs_always ];

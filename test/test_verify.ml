@@ -1,0 +1,373 @@
+(* Tests for Hnlpu_verify — the whole-design static signoff engine.
+
+   Every rule ID gets at least one positive test (the reference design is
+   clean of it) and one negative test (its seeded-broken fixture flags it
+   at Error severity), plus property tests that Noc.Schedule's collective
+   plans verify clean under the NOC rules for every row/column group shape
+   and that mutated plans are flagged. *)
+
+open Hnlpu_util
+open Hnlpu_verify
+open Hnlpu_noc
+
+let reference = Signoff.reference ()
+
+let reference_diagnostics = Signoff.check reference
+
+let errors_only ds =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds
+
+(* --- Diagnostic mechanics ------------------------------------------------- *)
+
+let test_exit_codes () =
+  let e = Diagnostic.error ~rule:"X" ~subject:"s" "boom" in
+  let w = Diagnostic.warning ~rule:"X" ~subject:"s" "hm" in
+  let i = Diagnostic.info ~rule:"X" ~subject:"s" "ok" in
+  Alcotest.(check int) "clean" 0 (Diagnostic.exit_code []);
+  Alcotest.(check int) "info only" 0 (Diagnostic.exit_code [ i ]);
+  Alcotest.(check int) "warning" 1 (Diagnostic.exit_code [ i; w ]);
+  Alcotest.(check int) "error dominates" 2 (Diagnostic.exit_code [ i; w; e ])
+
+let test_report_renders () =
+  let ds =
+    [
+      Diagnostic.info ~rule:"ME-LVS" ~subject:"chip00" "fine";
+      Diagnostic.error ~rule:"ME-TRACK" ~subject:"chip01" "short";
+    ]
+  in
+  let r = Diagnostic.report ds in
+  Alcotest.(check bool) "errors first" true
+    (Thelp.contains r "[ERROR ME-TRACK]" && Thelp.contains r "signoff: 1 error(s)");
+  let hidden = Diagnostic.report ~show_info:false ds in
+  Alcotest.(check bool) "info suppressed" false (Thelp.contains hidden "ME-LVS")
+
+let test_json_renders () =
+  let ds = [ Diagnostic.error ~rule:"NOC-LINK" ~subject:"plan" "a \"quoted\" hop" ] in
+  let j = Diagnostic.to_json ds in
+  Alcotest.(check bool) "escaped and tagged" true
+    (Thelp.contains j "\"rule\": \"NOC-LINK\""
+    && Thelp.contains j "\\\"quoted\\\""
+    && Thelp.contains j "\"severity\": \"error\"")
+
+(* --- Reference design is signoff-clean ------------------------------------- *)
+
+let test_reference_clean () =
+  Alcotest.(check int) "no errors" 0 (List.length (errors_only reference_diagnostics));
+  Alcotest.(check int) "no warnings" 0
+    (Diagnostic.count Diagnostic.Warning reference_diagnostics);
+  Alcotest.(check int) "exit 0" 0 (Diagnostic.exit_code reference_diagnostics)
+
+let test_reference_reports_every_family () =
+  (* The clean run still mentions each rule family at Info level, so a
+     silent rule cannot be mistaken for a passing one. *)
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool) (rule ^ " audited") true
+        (Diagnostic.has_rule rule reference_diagnostics
+        || List.mem rule [ "ME-TRACK"; "ME-PORT"; "ME-WINDOW"; "NOC-LINK"; "NOC-PORT" ]))
+    Signoff.rules
+
+(* --- One fixture per rule --------------------------------------------------- *)
+
+let test_fixture rule () =
+  let ds = Signoff.check (Signoff.fixture rule) in
+  Alcotest.(check bool) (rule ^ " fires") true
+    (Diagnostic.has_rule ~min_severity:Diagnostic.Error rule ds);
+  Alcotest.(check int) "nonzero exit" 2 (Diagnostic.exit_code ds)
+
+let test_fixture_positive rule () =
+  Alcotest.(check bool) (rule ^ " clean on reference") false
+    (Diagnostic.has_rule ~min_severity:Diagnostic.Error rule reference_diagnostics)
+
+let test_unknown_fixture () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Signoff.fixture "NO-SUCH");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Netlist rules, directly ------------------------------------------------ *)
+
+let bank seed =
+  Hnlpu_neuron.Gemv.random (Rng.create seed) ~in_features:32 ~out_features:4
+    ~act_bits:8
+
+let test_congestion_histogram () =
+  let n = Hnlpu_litho.Hn_compiler.compile ~slack:16.0 (bank 1) in
+  let ds = Netlist_rules.congestion ~subject:"b" n in
+  Alcotest.(check int) "info only" 0 (List.length (errors_only ds));
+  Alcotest.(check bool) "histogram names layers" true
+    (List.exists
+       (fun d ->
+         Thelp.contains d.Diagnostic.message "M8"
+         && Thelp.contains d.Diagnostic.message "M11")
+       ds)
+
+let test_congestion_tight_window () =
+  let n = Hnlpu_litho.Hn_compiler.compile ~slack:16.0 (bank 2) in
+  let ds = Netlist_rules.congestion ~tracks_per_layer:3 ~subject:"b" n in
+  Alcotest.(check bool) "window exceeded" true (errors_only ds <> [])
+
+let test_lvs_pinpoints_cell () =
+  let g = bank 3 in
+  let n = Hnlpu_litho.Hn_compiler.compile ~slack:16.0 g in
+  let broken =
+    match n.Hnlpu_litho.Hn_compiler.wires with
+    | w :: rest ->
+      {
+        n with
+        Hnlpu_litho.Hn_compiler.wires =
+          { w with Hnlpu_litho.Hn_compiler.region = (w.Hnlpu_litho.Hn_compiler.region + 1) mod 16 }
+          :: rest;
+      }
+    | _ -> Alcotest.fail "expected wires"
+  in
+  match errors_only (Netlist_rules.lvs ~subject:"b" broken g) with
+  | [ d ] ->
+    Alcotest.(check bool) "names the cell" true
+      (Thelp.contains d.Diagnostic.message "n0.i0")
+  | ds -> Alcotest.failf "expected one ME-LVS error, got %d" (List.length ds)
+
+let test_mask_uniformity_accepts_different_weights () =
+  let chips =
+    List.map
+      (fun seed ->
+        ( Printf.sprintf "c%d" seed,
+          Hnlpu_litho.Hn_compiler.compile ~slack:16.0 (bank (100 + seed)) ))
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "uniform prefab" 0
+    (List.length (errors_only (Netlist_rules.mask_uniformity chips)))
+
+let test_mask_uniformity_rejects_shape_drift () =
+  let a = Hnlpu_litho.Hn_compiler.compile ~slack:16.0 (bank 1) in
+  let b =
+    Hnlpu_litho.Hn_compiler.compile ~slack:16.0
+      (Hnlpu_neuron.Gemv.random (Rng.create 2) ~in_features:32 ~out_features:5
+         ~act_bits:8)
+  in
+  Alcotest.(check bool) "shape drift flagged" true
+    (errors_only (Netlist_rules.mask_uniformity [ ("a", a); ("b", b) ]) <> [])
+
+(* --- NOC rules: property tests over every group shape ----------------------- *)
+
+(* All row/column subgroup shapes: a line (row or col), its index, and a
+   subset of at least two of its four chips, encoded as a bitmask. *)
+let group_gen =
+  QCheck.Gen.(
+    map3
+      (fun is_row idx mask -> (is_row, idx mod 4, mask))
+      bool (int_bound 3)
+      (int_range 0 15 >>= fun m ->
+       if List.length (List.filter (fun b -> m land (1 lsl b) <> 0) [ 0; 1; 2; 3 ]) >= 2
+       then return m
+       else return 0b0011))
+
+let group_of (is_row, idx, mask) =
+  let line = if is_row then Topology.row_group idx else Topology.col_group idx in
+  List.filteri (fun i _ -> mask land (1 lsl i) <> 0) line
+
+let group_arb =
+  QCheck.make group_gen ~print:(fun (r, i, m) ->
+      Printf.sprintf "%s %d mask %#x" (if r then "row" else "col") i m)
+
+let clean coll plan = errors_only (Noc_rules.check ~subject:"p" coll plan) = []
+
+let prop_all_reduce_verifies =
+  QCheck.Test.make ~name:"all_reduce verifies clean on every group shape"
+    ~count:100 group_arb
+    (fun shape ->
+      let group = group_of shape in
+      let bytes = 4096 in
+      clean (Noc_rules.All_reduce { group; bytes }) (Schedule.all_reduce ~group ~bytes))
+
+let prop_all_gather_verifies =
+  QCheck.Test.make ~name:"all_gather verifies clean on every group shape"
+    ~count:100 group_arb
+    (fun shape ->
+      let group = group_of shape in
+      let shard_bytes = 1024 in
+      clean
+        (Noc_rules.All_gather { group; shard_bytes })
+        (Schedule.all_gather ~group ~shard_bytes))
+
+let prop_dropped_transfer_flagged =
+  QCheck.Test.make ~name:"dropping any transfer breaks byte conservation"
+    ~count:100 group_arb
+    (fun shape ->
+      let group = group_of shape in
+      let bytes = 4096 in
+      let plan = Schedule.all_reduce ~group ~bytes in
+      let mutated =
+        match plan with
+        | (_ :: rest) :: steps -> rest :: steps
+        | _ -> plan
+      in
+      List.exists
+        (fun d -> d.Diagnostic.rule = "NOC-BYTES")
+        (errors_only (Noc_rules.check ~subject:"p" (Noc_rules.All_reduce { group; bytes }) mutated)))
+
+let prop_wrong_link_flagged =
+  QCheck.Test.make ~name:"rewiring a transfer off the fabric is flagged"
+    ~count:100 group_arb
+    (fun shape ->
+      let group = group_of shape in
+      let bytes = 512 in
+      let plan = Schedule.all_gather ~group ~shard_bytes:bytes in
+      let diagonal_of c =
+        Topology.chip_at
+          ~row:((Topology.row_of c + 1) mod Topology.rows)
+          ~col:((Topology.col_of c + 1) mod Topology.cols)
+      in
+      let mutated =
+        match plan with
+        | ({ Schedule.src; dst = _; bytes } :: rest) :: steps ->
+          ({ Schedule.src; dst = diagonal_of src; bytes } :: rest) :: steps
+        | _ -> plan
+      in
+      mutated = plan
+      || List.exists
+           (fun d -> d.Diagnostic.rule = "NOC-LINK")
+           (errors_only
+              (Noc_rules.check ~subject:"p"
+                 (Noc_rules.All_gather { group; shard_bytes = bytes })
+                 mutated)))
+
+let test_all_chip_all_reduce_raw_clean () =
+  let plan = Schedule.all_chip_all_reduce ~bytes:8192 in
+  Alcotest.(check int) "links and ports clean" 0
+    (List.length (errors_only (Noc_rules.check ~subject:"p" Noc_rules.Raw plan)))
+
+let test_contention_rx_overmerge () =
+  (* 7 distinct senders into chip 0: degree is 6. *)
+  let senders = [ 1; 2; 3; 4; 8; 12 ] in
+  let step = List.map (fun src -> { Schedule.src; dst = 0; bytes = 1 }) senders in
+  Alcotest.(check int) "6 within degree" 0
+    (List.length (Noc_rules.contention ~subject:"p" [ step ]));
+  let overmerge = { Schedule.src = 5; dst = 0; bytes = 1 } :: step in
+  (* Chip 5 is not connected to 0 (diagonal) — links rule would flag it,
+     but contention independently counts the merge. *)
+  Alcotest.(check bool) "7th stream flagged" true
+    (Noc_rules.contention ~subject:"p" [ overmerge ] <> [])
+
+(* --- System rules ------------------------------------------------------------- *)
+
+let config = Hnlpu_model.Config.gpt_oss_120b
+
+let test_stage_map_canonical () =
+  let slots = System_rules.canonical_stage_map config in
+  Alcotest.(check int) "216 slots" 216 (List.length slots);
+  Alcotest.(check int) "clean" 0
+    (List.length (errors_only (System_rules.pipeline_mapping ~subject:"p" config slots)))
+
+let test_stage_map_gaps () =
+  let slots = List.tl (System_rules.canonical_stage_map config) in
+  Alcotest.(check bool) "unmapped stage flagged" true
+    (errors_only (System_rules.pipeline_mapping ~subject:"p" config slots) <> [])
+
+let test_stage_map_out_of_range () =
+  let slots =
+    { System_rules.layer = config.Hnlpu_model.Config.num_layers; stage = 0 }
+    :: System_rules.canonical_stage_map config
+  in
+  Alcotest.(check bool) "range flagged" true
+    (errors_only (System_rules.pipeline_mapping ~subject:"p" config slots) <> [])
+
+let test_weight_partition_clean () =
+  Alcotest.(check int) "tiles exactly" 0
+    (List.length (errors_only (System_rules.weight_partition ~subject:"p" config)))
+
+let test_weight_partition_unmappable () =
+  let odd = { config with Hnlpu_model.Config.hidden = 2881; name = "odd" } in
+  Alcotest.(check bool) "indivisible flagged" true
+    (errors_only (System_rules.weight_partition ~subject:"p" odd) <> [])
+
+let test_buffer_fits_64k () =
+  match System_rules.buffer_budget ~subject:"b" config ~max_context:65536 with
+  | [ d ] -> Alcotest.(check bool) "info" true (d.Diagnostic.severity = Diagnostic.Info)
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_buffer_spill_warning () =
+  (* 256K context spills to HBM but remains streamable (Figure 14 regime). *)
+  let ds = System_rules.buffer_budget ~subject:"b" config ~max_context:262144 in
+  Alcotest.(check bool) "warning, not error" true
+    (List.for_all (fun d -> d.Diagnostic.severity <> Diagnostic.Error) ds
+    && List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Warning) ds)
+
+let test_buffer_overflow_error () =
+  let ds = System_rules.buffer_budget ~subject:"b" config ~max_context:(64 * 1024 * 1024) in
+  Alcotest.(check bool) "error" true
+    (List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds)
+
+let test_scheduler_slots () =
+  Alcotest.(check int) "216 accepted" 0
+    (List.length
+       (errors_only
+          (System_rules.scheduler_slots ~subject:"s" config ~claimed_slots:216)));
+  Alcotest.(check bool) "mismatch flagged" true
+    (errors_only (System_rules.scheduler_slots ~subject:"s" config ~claimed_slots:217)
+    <> [])
+
+(* --- Suite -------------------------------------------------------------------- *)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let fixture_cases =
+  List.concat_map
+    (fun rule ->
+      [
+        Alcotest.test_case (rule ^ " reference clean") `Quick (test_fixture_positive rule);
+        Alcotest.test_case (rule ^ " fixture fires") `Quick (test_fixture rule);
+      ])
+    Signoff.rules
+
+let () =
+  Alcotest.run "hnlpu_verify"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "report" `Quick test_report_renders;
+          Alcotest.test_case "json" `Quick test_json_renders;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "signoff clean" `Quick test_reference_clean;
+          Alcotest.test_case "every family audited" `Quick
+            test_reference_reports_every_family;
+        ] );
+      ("fixtures", Alcotest.test_case "unknown rejected" `Quick test_unknown_fixture :: fixture_cases);
+      ( "netlist rules",
+        [
+          Alcotest.test_case "congestion histogram" `Quick test_congestion_histogram;
+          Alcotest.test_case "tight window" `Quick test_congestion_tight_window;
+          Alcotest.test_case "lvs pinpoints cell" `Quick test_lvs_pinpoints_cell;
+          Alcotest.test_case "mask uniformity ok" `Quick
+            test_mask_uniformity_accepts_different_weights;
+          Alcotest.test_case "mask shape drift" `Quick
+            test_mask_uniformity_rejects_shape_drift;
+        ] );
+      ( "noc rules",
+        [
+          Alcotest.test_case "all-chip all-reduce raw" `Quick
+            test_all_chip_all_reduce_raw_clean;
+          Alcotest.test_case "rx overmerge" `Quick test_contention_rx_overmerge;
+        ] );
+      qsuite "noc properties"
+        [
+          prop_all_reduce_verifies; prop_all_gather_verifies;
+          prop_dropped_transfer_flagged; prop_wrong_link_flagged;
+        ];
+      ( "system rules",
+        [
+          Alcotest.test_case "stage map canonical" `Quick test_stage_map_canonical;
+          Alcotest.test_case "stage map gaps" `Quick test_stage_map_gaps;
+          Alcotest.test_case "stage map range" `Quick test_stage_map_out_of_range;
+          Alcotest.test_case "weight partition" `Quick test_weight_partition_clean;
+          Alcotest.test_case "unmappable config" `Quick test_weight_partition_unmappable;
+          Alcotest.test_case "buffer fits 64K" `Quick test_buffer_fits_64k;
+          Alcotest.test_case "buffer spill 256K" `Quick test_buffer_spill_warning;
+          Alcotest.test_case "buffer overflow" `Quick test_buffer_overflow_error;
+          Alcotest.test_case "scheduler slots" `Quick test_scheduler_slots;
+        ] );
+    ]
