@@ -643,15 +643,37 @@ let check_cmd =
   let list_rules =
     Arg.(value & flag & info [ "rules" ] ~doc:"List the stable rule IDs and exit.")
   in
-  let run json verbose fixture self_test list_rules =
+  let bundle =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bundle" ] ~docv:"DIR"
+          ~doc:
+            "Check the user design bundle at $(docv) (manifest, \
+             netlists/*.tcl, plans/*.plan, optional schematics and \
+             stage_map) instead of the built-in reference.")
+  in
+  let export_bundle =
+    Arg.(
+      value & opt (some string) None
+      & info [ "export-bundle" ] ~docv:"DIR"
+          ~doc:
+            "Instead of checking, write the selected design (reference, or \
+             a --fixture) as a bundle under $(docv) — a starting template \
+             for user bundles and the round-trip smoke test CI runs.")
+  in
+  let run json verbose fixture self_test list_rules bundle export_bundle =
     if list_rules then List.iter print_endline Signoff.rules
     else if self_test then begin
       let failures =
         List.filter
           (fun rule ->
             let ds = Signoff.check (Signoff.fixture rule) in
-            let caught = Diagnostic.has_rule ~min_severity:Diagnostic.Error rule ds in
-            Printf.printf "%-11s %s\n" rule (if caught then "caught" else "MISSED");
+            let caught =
+              Diagnostic.has_rule
+                ~min_severity:(Signoff.expected_severity rule)
+                rule ds
+            in
+            Printf.printf "%-12s %s\n" rule (if caught then "caught" else "MISSED");
             not caught)
           Signoff.rules
       in
@@ -663,26 +685,48 @@ let check_cmd =
     end
     else begin
       let design =
-        match fixture with
-        | None -> Signoff.reference ()
-        | Some rule ->
+        match (bundle, fixture) with
+        | Some _, Some _ ->
+          Printf.eprintf "--bundle and --fixture are mutually exclusive\n";
+          exit 3
+        | Some dir, None ->
+          (try Bundle.load dir
+           with Failure msg ->
+             Printf.eprintf "%s\n" msg;
+             exit 3)
+        | None, Some rule ->
           (try Signoff.fixture rule
            with Invalid_argument msg ->
              Printf.eprintf "%s (try --rules)\n" msg;
              exit 3)
+        | None, None -> Signoff.reference ()
       in
-      let ds = Signoff.check design in
-      if json then print_string (Diagnostic.to_json ds)
-      else print_string (Diagnostic.report ~show_info:verbose ds);
-      exit (Diagnostic.exit_code ds)
+      match export_bundle with
+      | Some dir ->
+        let paths =
+          try Bundle.export ~dir design
+          with Sys_error msg | Failure msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 3
+        in
+        Printf.printf "%d bundle file(s) written under %s\n" (List.length paths) dir
+      | None ->
+        let ds = Signoff.check design in
+        if json then print_string (Diagnostic.to_json ds)
+        else print_string (Diagnostic.report ~show_info:verbose ds);
+        exit (Diagnostic.exit_code ds)
     end
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Whole-design static signoff: netlist DRC/LVS, NoC schedule and \
-          buffer/budget linting with severity-based exit codes")
-    Term.(const run $ json $ verbose $ fixture $ self_test $ list_rules)
+         "Whole-design static signoff: netlist DRC/LVS, NoC schedule \
+          execution/makespan cross-checks, thermal operating point and \
+          buffer/budget linting with severity-based exit codes — on the \
+          reference design or a user --bundle")
+    Term.(
+      const run $ json $ verbose $ fixture $ self_test $ list_rules $ bundle
+      $ export_bundle)
 
 (* --- speculate ------------------------------------------------------------------- *)
 

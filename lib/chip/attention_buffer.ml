@@ -32,13 +32,16 @@ let kv_bytes_per_position_per_chip (c : Config.t) =
 
 let onchip_positions t (c : Config.t) =
   let per_pos = kv_bytes_per_position_per_chip c in
-  (* A chip stores 1/4 of the column's positions (l mod 4 striping). *)
-  capacity_bytes t * Hnlpu_noc.Topology.rows / per_pos
+  (* A chip stores 1/4 of the column's positions (l mod 4 striping): the
+     per-chip floor must be taken before scaling by the stripe width, or
+     the capacity claims positions no single chip can hold. *)
+  capacity_bytes t / per_pos * Hnlpu_noc.Topology.rows
 
 let spilled_bytes_per_token t c ~context =
   if context < 0 then invalid_arg "Attention_buffer: negative context";
   let cap = onchip_positions t c in
   if context <= cap then 0.0
   else
-    float_of_int ((context - cap) / Hnlpu_noc.Topology.rows)
+    float_of_int (context - cap)
+    /. float_of_int Hnlpu_noc.Topology.rows
     *. float_of_int (kv_bytes_per_position_per_chip c)

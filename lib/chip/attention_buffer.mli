@@ -37,4 +37,6 @@ val onchip_positions : t -> Hnlpu_model.Config.t -> int
 
 val spilled_bytes_per_token : t -> Hnlpu_model.Config.t -> context:int -> float
 (** KV bytes a chip must stream from HBM to attend over [context] for one
-    token (0 when everything fits). *)
+    token (0 when everything fits).  Computed in float so the fractional
+    positions near the spill boundary are not silently dropped — integer
+    division here understated HBM traffic by up to 3 positions per chip. *)

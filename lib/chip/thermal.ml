@@ -17,7 +17,8 @@ let coolant_c = 35.0
 
 let thermal_resistance_k_per_w = 0.08
 
-let analyze ?tech ?config () =
+let analyze ?tech ?config ?(power_scale = 1.0) ?(coolant_c = coolant_c) () =
+  if power_scale <= 0.0 then invalid_arg "Thermal.analyze: non-positive power scale";
   let fp = Floorplan.table1 ?tech ?config () in
   let densities =
     List.filter_map
@@ -27,15 +28,15 @@ let analyze ?tech ?config () =
           Some
             {
               thermal_block = b.Floorplan.block_name;
-              density_w_per_mm2 = b.Floorplan.power_w /. b.Floorplan.area_mm2;
+              density_w_per_mm2 = power_scale *. b.Floorplan.power_w /. b.Floorplan.area_mm2;
             })
       fp.Floorplan.blocks
   in
-  let average = fp.Floorplan.total_power_w /. fp.Floorplan.total_area_mm2 in
+  let average = power_scale *. fp.Floorplan.total_power_w /. fp.Floorplan.total_area_mm2 in
   let peak =
     List.fold_left (fun acc d -> Float.max acc d.density_w_per_mm2) 0.0 densities
   in
-  let rise = fp.Floorplan.total_power_w *. thermal_resistance_k_per_w in
+  let rise = power_scale *. fp.Floorplan.total_power_w *. thermal_resistance_k_per_w in
   let junction = coolant_c +. rise in
   {
     densities;

@@ -32,10 +32,18 @@ val thermal_resistance_k_per_w : float
 (** Die-to-coolant resistance of the cold-plate stack (~0.08 K/W for a
     die this size). *)
 
-val analyze : ?tech:Hnlpu_gates.Tech.t -> ?config:Hnlpu_model.Config.t -> unit -> t
+val analyze :
+  ?tech:Hnlpu_gates.Tech.t -> ?config:Hnlpu_model.Config.t -> ?power_scale:float ->
+  ?coolant_c:float -> unit -> t
 (** Evaluate the Table 1 floorplan.  [within_limits] requires the peak
     density under {!dlc_limit_w_per_mm2} and the junction under
-    {!max_junction_c}. *)
+    {!max_junction_c}.
+
+    [power_scale] (default 1.0, must be positive) scales every block's
+    power — the deployment operating point a user bundle declares (an
+    overclocked or over-volted part heats the same floorplan harder).
+    [coolant_c] (default {!coolant_c}) overrides the facility loop
+    temperature.  Both feed the signoff THERM-* rules. *)
 
 val hotspot : t -> block_density
 (** The densest block (the interconnect engine in our floorplan). *)

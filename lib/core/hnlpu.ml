@@ -119,7 +119,9 @@ module Diagnostic = Hnlpu_verify.Diagnostic
 module Netlist_rules = Hnlpu_verify.Netlist_rules
 module Noc_rules = Hnlpu_verify.Noc_rules
 module System_rules = Hnlpu_verify.System_rules
+module Chip_rules = Hnlpu_verify.Chip_rules
 module Signoff = Hnlpu_verify.Signoff
+module Bundle = Hnlpu_verify.Bundle
 
 (** {1 Experiments} *)
 

@@ -19,6 +19,7 @@ let transfer_time_s t ~bytes =
   +. (float_of_int bytes /. t.bandwidth_bytes_per_s)
 
 let transfer_energy_j t ~bytes =
+  if bytes < 0 then invalid_arg "Link.transfer_energy_j: negative payload";
   float_of_int (bytes * 8) *. t.pj_per_bit *. 1e-12
 
 let bytes_per_value = 2

@@ -26,6 +26,8 @@ val transfer_time_s : t -> bytes:int -> float
     the latency terms (synchronization messages). *)
 
 val transfer_energy_j : t -> bytes:int -> float
+(** [pj_per_bit] x payload.  Raises [Invalid_argument] on negative byte
+    counts, matching {!transfer_time_s}. *)
 
 val bytes_per_value : int
 (** Activation payloads travel as FP16: 2 bytes per element. *)

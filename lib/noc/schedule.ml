@@ -95,12 +95,13 @@ let makespan ?(link = Link.cxl3) plan =
 
 let transfer_count plan = List.fold_left (fun a s -> a + List.length s) 0 plan
 
-let run_all_reduce ~group vals =
+let run_all_reduce ?plan ~group vals =
   (match vals with
   | [] -> invalid_arg "Schedule.run_all_reduce: empty"
   | _ -> ());
-  let bytes = 0 in
-  let plan = all_reduce ~group ~bytes in
+  let plan =
+    match plan with Some p -> p | None -> all_reduce ~group ~bytes:0
+  in
   let state = Hashtbl.create 16 in
   List.iter (fun (c, v) -> Hashtbl.replace state c (Array.copy v)) vals;
   List.iteri

@@ -56,7 +56,11 @@ val transfer_count : t -> int
 
 (** {1 Execution on values} *)
 
-val run_all_reduce : group:Topology.chip list -> Collective.valued -> Collective.valued
-(** Execute the {!all_reduce} plan transfer by transfer on real vectors
-    (merging at receivers) and return the per-chip results — must equal
-    {!Collective.all_reduce} (tested). *)
+val run_all_reduce :
+  ?plan:t -> group:Topology.chip list -> Collective.valued -> Collective.valued
+(** Execute an all-reduce plan transfer by transfer on real vectors
+    (merging at receivers on the first step, overwriting on later steps)
+    and return the per-chip results — must equal {!Collective.all_reduce}
+    (tested).  [plan] defaults to {!all_reduce} over [group]; passing a
+    user plan lets signoff diff what the plan {e computes} against the
+    mathematical sum (the NOC-EXEC rule). *)

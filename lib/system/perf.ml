@@ -150,6 +150,18 @@ let prefill_throughput_tokens_per_s ?tech c ~chunk ~context =
 
 (* --- Figure 11 stage decomposition ------------------------------------------ *)
 
+(* The single source of truth for stage labels: stage_times_s zips its
+   latencies against this list, so chart and table output cannot drift. *)
+let stage_names =
+  [
+    "S1: HN-Q/K/V + col all-reduce";
+    "S2: attention QK + stats exchange";
+    "S3: attention ZV + partial-O all-reduce";
+    "S4: HN-Xo + row all-reduce + col all-gather";
+    "S5: RMSNorm/router + HN-UP/GATE";
+    "S6: SwiGLU + HN-DOWN + all-chip all-reduce";
+  ]
+
 let stage_times_s ?(tech = Hnlpu_gates.Tech.n5) (c : Config.t) ~context =
   let link = Link.cxl3 in
   let step bytes =
@@ -166,29 +178,19 @@ let stage_times_s ?(tech = Hnlpu_gates.Tech.n5) (c : Config.t) ~context =
   let kv_bytes = Config.kv_dim c / 4 * fp16 in
   let h4_bytes = c.Config.hidden / 4 * fp16 in
   let h_bytes = c.Config.hidden * fp16 in
-  [
-    ( "S1 HN-Q/K/V + col all-reduce",
-      stream (c.Config.hidden / 4) +. (2.0 *. step q_bytes) +. (2.0 *. step kv_bytes) );
-    ("S2 attention QK + stats exchange", attn +. (2.0 *. step 64));
-    ("S3 attention ZV + partial-O all-reduce", attn +. (2.0 *. step q_bytes));
-    ( "S4 HN-Xo + row all-reduce + all-gather",
-      stream (Config.q_dim c / 4) +. (2.0 *. step h4_bytes) +. step h4_bytes );
-    ("S5 RMSNorm/router + HN-UP/GATE", nl +. stream c.Config.hidden);
-    ( "S6 SwiGLU + HN-DOWN + all-chip all-reduce",
-      nl +. stream c.Config.expert_hidden +. (4.0 *. step h_bytes) );
-  ]
+  List.map2
+    (fun name t -> (name, t))
+    stage_names
+    [
+      stream (c.Config.hidden / 4) +. (2.0 *. step q_bytes) +. (2.0 *. step kv_bytes);
+      attn +. (2.0 *. step 64);
+      attn +. (2.0 *. step q_bytes);
+      stream (Config.q_dim c / 4) +. (2.0 *. step h4_bytes) +. step h4_bytes;
+      nl +. stream c.Config.hidden;
+      nl +. stream c.Config.expert_hidden +. (4.0 *. step h_bytes);
+    ]
 
 let figure14_contexts = [ 2048; 8192; 65536; 131072; 262144; 524288 ]
 
 let figure14 ?tech c =
   List.map (fun l -> (l, token_breakdown ?tech c ~context:l)) figure14_contexts
-
-let stage_names =
-  [
-    "S1: HN-Q/K/V + col all-reduce";
-    "S2: attention QK + stats exchange";
-    "S3: attention ZV + partial-O all-reduce";
-    "S4: HN-Xo + row all-reduce + col all-gather";
-    "S5: RMSNorm/router + HN-UP/GATE";
-    "S6: SwiGLU + HN-DOWN + all-chip all-reduce";
-  ]

@@ -93,7 +93,8 @@ val prefill_throughput_tokens_per_s :
 val stage_times_s :
   ?tech:Hnlpu_gates.Tech.t -> Hnlpu_model.Config.t -> context:int -> (string * float) list
 (** Per-stage decode latencies of the six-stage Figure 11 pipeline; they
-    sum to the per-layer total. *)
+    sum to the per-layer total.  Labels are {!stage_names}, in order — the
+    two can never disagree. *)
 
 val figure14_contexts : int list
 (** The six context lengths of Figure 14: 2K..512K. *)
@@ -102,4 +103,5 @@ val figure14 : ?tech:Hnlpu_gates.Tech.t -> Hnlpu_model.Config.t -> (int * breakd
 (** The full Figure 14 sweep (per-token breakdowns). *)
 
 val stage_names : string list
-(** The six pipeline stages of Figure 11, for reporting. *)
+(** The six pipeline stages of Figure 11, for reporting — the canonical
+    labels {!stage_times_s} attaches to its latencies. *)

@@ -114,49 +114,42 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
     let injected_wakeup = ref false in
     let capacity = capacity_at now in
     let rec go () =
-      if !busy < capacity then begin
-        let next =
-          if not (Queue.is_empty decode_queue) then Some (Queue.pop decode_queue, Decode)
-          else begin
-            match Queue.peek_opt prefill_queue with
-            | Some s ->
-              Queue.pop prefill_queue |> ignore;
-              Some (s, Prefill)
-            | None -> None
+      if
+        !busy < capacity
+        && not (Queue.is_empty decode_queue && Queue.is_empty prefill_queue)
+      then begin
+        if !next_inject > now then begin
+          (* Pipeline entry busy: leave the queues untouched — popping the
+             head and re-pushing it would rotate FIFO order on every
+             stalled injection — and wake up at the slot time. *)
+          if not !injected_wakeup then begin
+            Heap.push events ~priority:!next_inject Wakeup;
+            injected_wakeup := true
           end
-        in
-        match next with
-        | None -> ()
-        | Some (s, kind) ->
-          if !next_inject > now then begin
-            (* Pipeline entry busy: requeue and wake up at the slot time. *)
-            (match kind with
-            | Decode -> Queue.push s decode_queue
-            | Prefill -> Queue.push s prefill_queue);
-            if not !injected_wakeup then begin
-              Heap.push events ~priority:!next_inject Wakeup;
-              injected_wakeup := true
-            end
-          end
-          else begin
-            (match s.injected_first with
-            | None -> s.injected_first <- Some now
-            | Some _ -> ());
-            (match kind with
-            | Prefill ->
-              s.prefill_remaining <- s.prefill_remaining - 1;
-              s.prefill_inflight <- s.prefill_inflight + 1;
-              (* More prefill tokens of this sequence stay in the queue. *)
-              if s.prefill_remaining > 0 then Queue.push s prefill_queue
-            | Decode -> ());
-            incr busy;
-            next_inject := now +. ii;
-            s.position <- s.position + 1;
-            Heap.push events
-              ~priority:(now +. latency_at s.position)
-              (Complete (s, kind));
-            go ()
-          end
+        end
+        else begin
+          let s, kind =
+            if not (Queue.is_empty decode_queue) then (Queue.pop decode_queue, Decode)
+            else (Queue.pop prefill_queue, Prefill)
+          in
+          (match s.injected_first with
+          | None -> s.injected_first <- Some now
+          | Some _ -> ());
+          (match kind with
+          | Prefill ->
+            s.prefill_remaining <- s.prefill_remaining - 1;
+            s.prefill_inflight <- s.prefill_inflight + 1;
+            (* More prefill tokens of this sequence stay in the queue. *)
+            if s.prefill_remaining > 0 then Queue.push s prefill_queue
+          | Decode -> ());
+          incr busy;
+          next_inject := now +. ii;
+          s.position <- s.position + 1;
+          Heap.push events
+            ~priority:(now +. latency_at s.position)
+            (Complete (s, kind));
+          go ()
+        end
       end
     in
     go ()

@@ -1,12 +1,18 @@
 type 'a entry = { priority : float; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable n : int }
+(* Slots at index >= n hold None so popped values become collectable: a
+   live entry parked past the end would pin its value for the heap's whole
+   lifetime — a space leak across long simulation runs. *)
+type 'a t = { mutable data : 'a entry option array; mutable n : int }
 
 let create () = { data = [||]; n = 0 }
 
 let is_empty t = t.n = 0
 
 let size t = t.n
+
+let get t i =
+  match t.data.(i) with Some e -> e | None -> assert false
 
 let swap t i j =
   let tmp = t.data.(i) in
@@ -16,7 +22,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.data.(i).priority < t.data.(parent).priority then begin
+    if (get t i).priority < (get t parent).priority then begin
       swap t i parent;
       sift_up t parent
     end
@@ -25,36 +31,37 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.n && t.data.(l).priority < t.data.(!smallest).priority then smallest := l;
-  if r < t.n && t.data.(r).priority < t.data.(!smallest).priority then smallest := r;
+  if l < t.n && (get t l).priority < (get t !smallest).priority then smallest := l;
+  if r < t.n && (get t r).priority < (get t !smallest).priority then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t ~priority value =
-  let entry = { priority; value } in
   if t.n = Array.length t.data then begin
     let cap = max 16 (2 * Array.length t.data) in
-    let fresh = Array.make cap entry in
+    let fresh = Array.make cap None in
     Array.blit t.data 0 fresh 0 t.n;
     t.data <- fresh
   end;
-  t.data.(t.n) <- entry;
+  t.data.(t.n) <- Some { priority; value };
   t.n <- t.n + 1;
   sift_up t (t.n - 1)
 
 let peek t =
-  if t.n = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+  if t.n = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.priority, e.value)
 
 let pop t =
   if t.n = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.n <- t.n - 1;
-    if t.n > 0 then begin
-      t.data.(0) <- t.data.(t.n);
-      sift_down t 0
-    end;
+    t.data.(0) <- t.data.(t.n);
+    t.data.(t.n) <- None;
+    if t.n > 0 then sift_down t 0;
     Some (top.priority, top.value)
   end

@@ -165,21 +165,104 @@ let conservation ~subject coll (plan : Schedule.t) =
             ~want:shard_bytes)
         (peers root group)
 
+let canonical_plan = function
+  | Reduce { root; group; bytes } -> Some (Schedule.reduce ~root ~group ~bytes)
+  | Broadcast { root; group; bytes } ->
+    Some (Schedule.broadcast ~root ~group ~bytes)
+  | All_reduce { group; bytes } -> Some (Schedule.all_reduce ~group ~bytes)
+  | All_gather { group; shard_bytes } ->
+    Some (Schedule.all_gather ~group ~shard_bytes)
+  | Scatter { root; group; shard_bytes } ->
+    Some (Schedule.scatter ~root ~group ~shard_bytes)
+  | Raw -> None
+
+(* Execution cross-check: byte conservation is a whole-plan tally, so a plan
+   can move the right amounts yet order them so receivers merge the wrong
+   operands.  Running the plan on random vectors and diffing against the
+   mathematical sum catches exactly that class. *)
+let execution ?(seed = 7) ~subject coll (plan : Schedule.t) =
+  match coll with
+  | All_reduce { group; _ } -> (
+    let rng = Hnlpu_util.Rng.create seed in
+    let vals =
+      List.map (fun c -> (c, Hnlpu_tensor.Vec.gaussian rng 8)) group
+    in
+    let expected = Collective.sum vals in
+    match Schedule.run_all_reduce ~plan ~group vals with
+    | exception Invalid_argument msg ->
+      [
+        Diagnostic.error ~rule:"NOC-EXEC" ~subject
+          "plan is not executable as an all-reduce: %s" msg;
+      ]
+    | results -> (
+      let off =
+        List.filter_map
+          (fun (c, v) ->
+            let diff = Hnlpu_tensor.Vec.max_abs_diff v expected in
+            if diff > 1e-9 then Some (c, diff) else None)
+          results
+      in
+      match off with
+      | [] ->
+        [
+          Diagnostic.info ~rule:"NOC-EXEC" ~subject
+            "executed on random vectors: every chip ends with the \
+             mathematical sum";
+        ]
+      | _ ->
+        List.map
+          (fun (c, diff) ->
+            Diagnostic.error ~rule:"NOC-EXEC" ~subject
+              "executing the plan leaves chip %d off the mathematical sum \
+               by %g — the bytes balance but the values are wrong"
+              c diff)
+          off))
+  | _ -> []
+
+let makespan_budget = 1.1
+
+let makespan ?link ~subject coll (plan : Schedule.t) =
+  match canonical_plan coll with
+  | None -> []
+  | Some canonical ->
+    let actual = Schedule.makespan ?link plan in
+    let expected = Schedule.makespan ?link canonical in
+    if expected > 0.0 && actual > makespan_budget *. expected then
+      [
+        Diagnostic.warning ~rule:"NOC-MAKESPAN" ~subject
+          "plan makespan %.3g us is %.0f%% of the canonical schedule's \
+           %.3g us (budget %.0f%%)"
+          (actual *. 1e6)
+          (100.0 *. actual /. expected)
+          (expected *. 1e6)
+          (100.0 *. makespan_budget);
+      ]
+    else
+      [
+        Diagnostic.info ~rule:"NOC-MAKESPAN" ~subject
+          "makespan %.3g us within %.0f%% of the canonical schedule"
+          (actual *. 1e6)
+          (100.0 *. makespan_budget);
+      ]
+
 let check ~subject coll plan =
-  let ds =
+  let static =
     links ~subject plan @ contention ~subject plan
     @ conservation ~subject coll plan
   in
-  if ds = [] then
-    [
-      Diagnostic.info ~rule:"NOC-BYTES" ~subject
-        "%d step(s), %d transfer(s), %d B moved — links, ports and byte \
-         conservation clean"
-        (List.length plan)
-        (Schedule.transfer_count plan)
-        (List.fold_left
-           (fun acc step ->
-             List.fold_left (fun a { Schedule.bytes; _ } -> a + bytes) acc step)
-           0 plan);
-    ]
-  else ds
+  let static =
+    if static = [] then
+      [
+        Diagnostic.info ~rule:"NOC-BYTES" ~subject
+          "%d step(s), %d transfer(s), %d B moved — links, ports and byte \
+           conservation clean"
+          (List.length plan)
+          (Schedule.transfer_count plan)
+          (List.fold_left
+             (fun acc step ->
+               List.fold_left (fun a { Schedule.bytes; _ } -> a + bytes) acc step)
+             0 plan);
+      ]
+    else static
+  in
+  static @ execution ~subject coll plan @ makespan ~subject coll plan

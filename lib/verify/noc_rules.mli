@@ -9,7 +9,14 @@
       shapes: a reduce must deliver every peer's full partial to the
       root, a broadcast the payload to every peer, an all-gather all
       [k-1] shards to every member, etc.  Plans touching chips outside
-      the declared group are also flagged here. *)
+      the declared group are also flagged here.
+    - [NOC-EXEC] — execution cross-check: run the plan on random vectors
+      with {!Hnlpu_noc.Schedule.run_all_reduce} and diff every chip's
+      result against the mathematical sum.  Catches plans whose bytes
+      balance but whose transfer ordering computes the wrong value —
+      invisible to [NOC-BYTES] by construction.
+    - [NOC-MAKESPAN] — [Warning] when the plan's makespan exceeds the
+      canonical schedule's for the declared collective by more than 10%. *)
 
 (** What a plan claims to compute; conservation is checked against the
     reference shapes {!Hnlpu_noc.Schedule} emits (star reduce/broadcast,
@@ -46,6 +53,26 @@ val conservation :
   subject:string -> collective -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
 (** [NOC-BYTES] against the declared collective. *)
 
+val canonical_plan : collective -> Hnlpu_noc.Schedule.t option
+(** The {!Hnlpu_noc.Schedule} reference plan for the declared collective
+    ([None] for [Raw]) — the makespan baseline. *)
+
+val execution :
+  ?seed:int -> subject:string -> collective -> Hnlpu_noc.Schedule.t ->
+  Diagnostic.t list
+(** [NOC-EXEC]: execute the plan on seeded random vectors (all-reduce
+    collectives only — empty otherwise) and require every chip to end with
+    {!Hnlpu_noc.Collective.sum}.  A plan the executor rejects
+    ([Invalid_argument]) is an error too. *)
+
+val makespan :
+  ?link:Hnlpu_noc.Link.t -> subject:string -> collective ->
+  Hnlpu_noc.Schedule.t -> Diagnostic.t list
+(** [NOC-MAKESPAN]: [Warning] beyond 110% of {!canonical_plan}'s makespan,
+    [Info] otherwise; empty for [Raw]. *)
+
 val check :
   subject:string -> collective -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
-(** All three rule families, plus an [Info] plan summary when clean. *)
+(** All rule families: links/ports/conservation (with an [Info] plan
+    summary when those are clean), then the execution and makespan
+    cross-checks. *)

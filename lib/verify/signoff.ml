@@ -18,6 +18,8 @@ type design = {
   stage_map : System_rules.stage_slot list;
   claimed_slots : int;
   max_context : int;
+  power_scale : float;
+  coolant_c : float;
 }
 
 let reference ?(seed = 42) ?(bank_in = 48) ?(bank_out = 6) () =
@@ -73,6 +75,8 @@ let reference ?(seed = 42) ?(bank_in = 48) ?(bank_out = 6) () =
     stage_map = System_rules.canonical_stage_map config;
     claimed_slots = Perf.pipeline_slots config;
     max_context = 65536;
+    power_scale = 1.0;
+    coolant_c = Hnlpu_chip.Thermal.coolant_c;
   }
 
 let check d =
@@ -93,12 +97,19 @@ let check d =
       ~max_context:d.max_context
   @ System_rules.scheduler_slots ~subject:"scheduler" d.config
       ~claimed_slots:d.claimed_slots
+  @ Chip_rules.thermal ~config:d.config ~power_scale:d.power_scale
+      ~coolant_c:d.coolant_c ~subject:"thermal" ()
 
 let rules =
   [
     "ME-CONGEST"; "ME-TRACK"; "ME-PORT"; "ME-WINDOW"; "ME-MASK"; "ME-LVS";
-    "NOC-LINK"; "NOC-PORT"; "NOC-BYTES"; "PIPE-MAP"; "BUF-OVFL"; "SCHED-SLOT";
+    "NOC-LINK"; "NOC-PORT"; "NOC-BYTES"; "NOC-EXEC"; "NOC-MAKESPAN";
+    "PIPE-MAP"; "BUF-OVFL"; "SCHED-SLOT"; "THERM-DENS"; "THERM-JCT";
   ]
+
+let expected_severity = function
+  | "NOC-MAKESPAN" -> Diagnostic.Warning
+  | _ -> Diagnostic.Error
 
 (* --- Seeded-broken fixtures: one violation per rule ------------------------ *)
 
@@ -204,4 +215,32 @@ let fixture rule =
     }
   | "BUF-OVFL" -> { d with max_context = 64 * 1024 * 1024 }
   | "SCHED-SLOT" -> { d with claimed_slots = d.claimed_slots - 17 }
+  | "NOC-EXEC" ->
+    (* Swap the head transfers of the reduce and broadcast phases: every
+       chip's whole-plan byte tally is untouched (NOC-BYTES clean), but the
+       root now merges a pre-reduction partial and one peer gets overwritten
+       with it — the value is wrong. *)
+    map_plan "all-reduce.col0"
+      (function
+        | [ t0 :: r0; u0 :: r1 ] -> [ u0 :: r0; t0 :: r1 ]
+        | plan -> plan)
+      d
+  | "NOC-MAKESPAN" ->
+    (* Serialize the broadcast phase into singleton steps: still computes
+       the right value and conserves bytes, but roughly doubles the
+       makespan — a Warning, not an Error. *)
+    map_plan "all-reduce.col1"
+      (function
+        | [ reduce; bcast ] -> reduce :: List.map (fun t -> [ t ]) bcast
+        | plan -> plan)
+      d
+  | "THERM-DENS" ->
+    (* Overdriven operating point: every block 60% hotter pushes the
+       interconnect-engine hotspot past the 2 W/mm2 DLC limit while the
+       junction stays legal. *)
+    { d with power_scale = 1.6 }
+  | "THERM-JCT" ->
+    (* Facility loop at 95 C: densities are unchanged but the junction
+       crosses 105 C. *)
+    { d with coolant_c = 95.0 }
   | other -> invalid_arg ("Signoff.fixture: unknown rule " ^ other)

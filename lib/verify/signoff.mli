@@ -22,6 +22,9 @@ type design = {
   stage_map : System_rules.stage_slot list;
   claimed_slots : int;               (** What the scheduler batches against. *)
   max_context : int;                 (** Worst case the buffers must absorb. *)
+  power_scale : float;               (** Operating-point power multiplier
+                                         (1.0 = the Table 1 floorplan). *)
+  coolant_c : float;                 (** Facility coolant temperature. *)
 }
 
 val reference : ?seed:int -> ?bank_in:int -> ?bank_out:int -> unit -> design
@@ -32,11 +35,17 @@ val reference : ?seed:int -> ?bank_in:int -> ?bank_out:int -> unit -> design
 
 val check : design -> Diagnostic.t list
 (** The full rule set: per-chip congestion/DRC/LVS, cross-chip mask
-    uniformity, per-plan link/port/byte checks, pipeline mapping, weight
-    partition, buffer budget, scheduler slots. *)
+    uniformity, per-plan link/port/byte/execution/makespan checks,
+    pipeline mapping, weight partition, buffer budget, scheduler slots,
+    and the thermal operating point. *)
 
 val rules : string list
 (** Every stable rule ID, for [--fixture] enumeration and self-tests. *)
+
+val expected_severity : string -> Diagnostic.severity
+(** The severity the rule's {!fixture} must trigger: [Warning] for
+    [NOC-MAKESPAN] (a slow-but-correct plan still ships), [Error] for
+    everything else. *)
 
 val fixture : string -> design
 (** [fixture rule] is {!reference} with one seeded violation of [rule].

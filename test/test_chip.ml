@@ -48,6 +48,28 @@ let test_buffer_spill () =
   Alcotest.(check bool) (Printf.sprintf "512K spills %.2f GB" (big /. 1e9)) true
     (big > 1.5e9 && big < 2.5e9)
 
+let test_buffer_spill_boundaries () =
+  (* Regression: the spill arithmetic used integer division, silently
+     dropping up to rows-1 positions right at the capacity edge. *)
+  let rows = Hnlpu_noc.Topology.rows in
+  let cap = Attention_buffer.onchip_positions Attention_buffer.hnlpu config in
+  let per_pos = Attention_buffer.kv_bytes_per_position_per_chip config in
+  let spill context =
+    Attention_buffer.spilled_bytes_per_token Attention_buffer.hnlpu config ~context
+  in
+  Alcotest.(check (float 0.0)) "nothing at capacity" 0.0 (spill cap);
+  Alcotest.(check (float 1e-6)) "one position past capacity"
+    (float_of_int per_pos /. float_of_int rows)
+    (spill (cap + 1));
+  Alcotest.(check (float 1e-6)) "rows past capacity = one full position/chip"
+    (float_of_int per_pos)
+    (spill (cap + rows));
+  Alcotest.(check bool) "negative context rejected" true
+    (try
+       ignore (spill (-1));
+       false
+     with Invalid_argument _ -> true)
+
 (* --- HBM ----------------------------------------------------------------- *)
 
 let test_hbm_capacity () =
@@ -182,6 +204,7 @@ let () =
           Alcotest.test_case "kv accounting" `Quick test_buffer_kv_accounting;
           Alcotest.test_case "onchip capacity" `Quick test_buffer_onchip_capacity;
           Alcotest.test_case "spill" `Quick test_buffer_spill;
+          Alcotest.test_case "spill boundaries" `Quick test_buffer_spill_boundaries;
         ] );
       ( "hbm",
         [

@@ -224,9 +224,16 @@ let test_stage_times_sum_to_layer () =
     true
     (Approx.close ~rel:1e-9 expected sum)
 
+let test_stage_labels_agree () =
+  (* Regression: stage_times_s used to carry its own label copies, which
+     had drifted from stage_names ("S1 HN..." vs "S1: HN...").  The
+     latencies must now be keyed by stage_names itself, verbatim. *)
+  Alcotest.(check (list string)) "labels are stage_names" Perf.stage_names
+    (List.map fst (Perf.stage_times_s config ~context:2048))
+
 let test_stage_times_attention_grows () =
   let at ctx =
-    List.assoc "S2 attention QK + stats exchange" (Perf.stage_times_s config ~context:ctx)
+    List.assoc "S2: attention QK + stats exchange" (Perf.stage_times_s config ~context:ctx)
   in
   (* S2 carries a fixed stats-exchange cost, so the growth is bounded by
      the attention half; 5x between 2K and 512K is the conservative check. *)
@@ -360,6 +367,7 @@ let () =
         [
           Alcotest.test_case "chunking helps" `Quick test_prefill_chunking_helps;
           Alcotest.test_case "stages sum to layer" `Quick test_stage_times_sum_to_layer;
+          Alcotest.test_case "stage labels agree" `Quick test_stage_labels_agree;
           Alcotest.test_case "attention stage grows" `Quick test_stage_times_attention_grows;
         ] );
       ( "ablations",

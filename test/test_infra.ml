@@ -46,6 +46,41 @@ let prop_heap_sorts =
       let drained = drain [] in
       drained = List.sort compare ps)
 
+let prop_heap_interleaved =
+  (* Regression for the pop space leak: interleaved pushes and pops (with
+     grows in between) must keep size and peek agreeing with a sorted-list
+     model at every step — exercising the slots pop vacates and push
+     refills. *)
+  QCheck.Test.make ~name:"interleaved push/pop tracks a sorted-list model"
+    ~count:200
+    QCheck.(list (pair bool (float_range (-100.0) 100.0)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, p) ->
+          let step_ok =
+            if is_pop then
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some (hp, _), m :: rest ->
+                model := rest;
+                hp = m
+              | _ -> false
+            else begin
+              Heap.push h ~priority:p p;
+              model := List.sort compare (p :: !model);
+              true
+            end
+          in
+          step_ok
+          && Heap.size h = List.length !model
+          && (match (Heap.peek h, !model) with
+             | None, [] -> true
+             | Some (hp, _), m :: _ -> hp = m
+             | _ -> false))
+        ops)
+
 (* --- Chart --------------------------------------------------------------- *)
 
 let test_bar_renders () =
@@ -185,7 +220,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
         ] );
-      qsuite "heap properties" [ prop_heap_sorts ];
+      qsuite "heap properties" [ prop_heap_sorts; prop_heap_interleaved ];
       ( "chart",
         [
           Alcotest.test_case "bar" `Quick test_bar_renders;

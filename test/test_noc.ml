@@ -60,6 +60,17 @@ let test_link_energy () =
   let e = Link.transfer_energy_j Link.cxl3 ~bytes:1000 in
   Alcotest.(check bool) "8 pJ/bit" true (Approx.close ~rel:1e-9 e (8000.0 *. 8.0e-12))
 
+let test_link_energy_rejects_negative () =
+  (* Regression: a negative payload used to yield a negative energy and
+     silently corrupt accumulated totals. *)
+  Alcotest.(check bool) "negative payload rejected" true
+    (try
+       ignore (Link.transfer_energy_j Link.cxl3 ~bytes:(-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (float 0.0)) "zero payload is free" 0.0
+    (Link.transfer_energy_j Link.cxl3 ~bytes:0)
+
 (* --- Collective: function -------------------------------------------------- *)
 
 let vals group xs = List.map2 (fun c v -> (c, v)) group xs
@@ -154,6 +165,8 @@ let () =
           Alcotest.test_case "latency components" `Quick test_link_latency_components;
           Alcotest.test_case "sub-100ns phy" `Quick test_link_sub_100ns_phy;
           Alcotest.test_case "energy" `Quick test_link_energy;
+          Alcotest.test_case "energy rejects negative" `Quick
+            test_link_energy_rejects_negative;
         ] );
       ( "collective-function",
         [

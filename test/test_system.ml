@@ -210,6 +210,37 @@ let test_scheduler_ordering_invariants () =
       Alcotest.(check bool) "queue wait nonnegative" true (c.Scheduler.queue_wait_s >= -1e-12))
     r.Scheduler.completed_requests
 
+let test_scheduler_fifo_order () =
+  (* Regression: a stalled injection used to pop the queue head and re-push
+     it to the back, rotating FIFO order whenever the initiation interval
+     delayed admission.  With identical work, first tokens must complete in
+     arrival order. *)
+  let reqs =
+    List.init 300 (fun i ->
+        {
+          Scheduler.arrival_s = 1e-9 *. float_of_int i;
+          prefill_tokens = 1;
+          decode_tokens = 5;
+        })
+  in
+  let r = Scheduler.simulate config reqs in
+  let by_arrival =
+    List.sort
+      (fun a b ->
+        compare a.Scheduler.request.Scheduler.arrival_s
+          b.Scheduler.request.Scheduler.arrival_s)
+      r.Scheduler.completed_requests
+  in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+      a.Scheduler.first_token_s <= b.Scheduler.first_token_s +. 1e-12
+      && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check int) "all complete" 300 (List.length by_arrival);
+  Alcotest.(check bool) "first tokens in arrival order" true
+    (nondecreasing by_arrival)
+
 let test_scheduler_saturation () =
   (* A heavy closed workload must approach the pipeline bound. *)
   let rng = Rng.create 101 in
@@ -314,6 +345,7 @@ let () =
         [
           Alcotest.test_case "conservation" `Quick test_scheduler_conservation;
           Alcotest.test_case "ordering invariants" `Quick test_scheduler_ordering_invariants;
+          Alcotest.test_case "fifo order" `Quick test_scheduler_fifo_order;
           Alcotest.test_case "saturation" `Quick test_scheduler_saturation;
           Alcotest.test_case "single stream" `Quick test_scheduler_decode_rate_single_stream;
           Alcotest.test_case "context-aware slower" `Quick test_scheduler_context_aware_slower;
