@@ -288,7 +288,81 @@ let print_signoff () =
     (t.Hnlpu.Trace.measured_latency_s *. 1e6)
     (t.Hnlpu.Trace.predicted_latency_s *. 1e6)
 
+(* --- Serving benchmark (BENCH_serving.json) ------------------------------ *)
+
+(* An instrumented continuous-batching run at a near-saturating arrival
+   rate: the serving numbers CI tracks over time.  The JSON is written
+   with the telemetry layer's strict-JSON combinators so downstream
+   parsers never see NaN. *)
+let serving_report ?(path = "BENCH_serving.json") () =
+  let obs = Hnlpu.Obs.Sink.create () in
+  let rng = Hnlpu.Rng.create 7 in
+  let reqs =
+    Hnlpu.Scheduler.workload rng ~n:2000 ~rate_per_s:20_000.0 ~mean_prefill:128
+      ~mean_decode:128
+  in
+  let r = Hnlpu.Scheduler.simulate ~obs config reqs in
+  let samples f =
+    Array.of_list (List.map f r.Hnlpu.Scheduler.completed_requests)
+  in
+  let ttft =
+    samples (fun c ->
+        c.Hnlpu.Scheduler.first_token_s
+        -. c.Hnlpu.Scheduler.request.Hnlpu.Scheduler.arrival_s)
+  in
+  let e2e =
+    samples (fun c ->
+        c.Hnlpu.Scheduler.finish_s
+        -. c.Hnlpu.Scheduler.request.Hnlpu.Scheduler.arrival_s)
+  in
+  let module J = Hnlpu.Obs.Json in
+  let quantiles arr =
+    J.obj
+      [
+        ("p50", J.number (Hnlpu.Stats.percentile arr 0.5));
+        ("p95", J.number (Hnlpu.Stats.percentile arr 0.95));
+        ("p99", J.number (Hnlpu.Stats.percentile arr 0.99));
+      ]
+  in
+  let json =
+    J.obj
+      [
+        ("benchmark", J.string "continuous-batching-serving");
+        ("config", J.string config.Hnlpu.Config.name);
+        ("requests", J.int (List.length r.Hnlpu.Scheduler.completed_requests));
+        ("tokens_processed", J.int r.Hnlpu.Scheduler.tokens_processed);
+        ("decode_tokens_out", J.int r.Hnlpu.Scheduler.decode_tokens_out);
+        ("throughput_tokens_per_s", J.number r.Hnlpu.Scheduler.throughput_tokens_per_s);
+        ("makespan_s", J.number r.Hnlpu.Scheduler.makespan_s);
+        ("mean_slot_occupancy", J.number r.Hnlpu.Scheduler.mean_slot_occupancy);
+        ("ttft_s", quantiles ttft);
+        ("e2e_s", quantiles e2e);
+        ("telemetry_events", J.int (Hnlpu.Obs.Sink.recorded obs));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf
+    "Serving benchmark -> %s\n\
+    \  throughput %s tokens/s, TTFT p50 %.2f ms / p95 %.2f ms / p99 %.2f ms, \
+     occupancy %.1f%%\n"
+    path
+    (Hnlpu.Units.group_thousands
+       (int_of_float r.Hnlpu.Scheduler.throughput_tokens_per_s))
+    (Hnlpu.Stats.percentile ttft 0.5 *. 1e3)
+    (Hnlpu.Stats.percentile ttft 0.95 *. 1e3)
+    (Hnlpu.Stats.percentile ttft 0.99 *. 1e3)
+    (r.Hnlpu.Scheduler.mean_slot_occupancy *. 100.0)
+
 let () =
+  if Array.exists (( = ) "--serving-only") Sys.argv then begin
+    serving_report ();
+    exit 0
+  end;
   print_endline "HNLPU reproduction — paper tables and figures";
   print_endline "=============================================";
   print_newline ();
@@ -297,6 +371,8 @@ let () =
   print_figures ();
   print_newline ();
   print_signoff ();
+  print_newline ();
+  serving_report ();
   print_newline ();
   print_extensions ();
   print_newline ();

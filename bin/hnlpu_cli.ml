@@ -14,6 +14,12 @@ open Hnlpu
 
 let config = Config.gpt_oss_120b
 
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
 (* --- tables ----------------------------------------------------------- *)
 
 let tables_cmd =
@@ -59,11 +65,17 @@ let context_arg =
     value & opt int 2048
     & info [ "context"; "c" ] ~docv:"TOKENS" ~doc:"Context length in tokens.")
 
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Also write the run's metrics registry as JSON to $(docv).")
+
 let perf_cmd =
   let stages_flag =
     Arg.(value & flag & info [ "stages" ] ~doc:"Also print the Figure 11 six-stage split.")
   in
-  let run context stages =
+  let run context stages metrics_out =
     let b = Perf.token_breakdown config ~context in
     let f = Perf.fractions b in
     Printf.printf "HNLPU on %s, context %d:\n" config.Config.name context;
@@ -87,11 +99,30 @@ let perf_cmd =
         (fun (name, d) -> Table.add_row t [ name; Units.seconds d ])
         (Perf.stage_times_s config ~context);
       Table.print t
-    end
+    end;
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let m = Obs.Metrics.create () in
+      let set = Obs.Metrics.set m in
+      set "perf/context" (float_of_int context);
+      set "perf/token_latency_s" (Perf.total_s b);
+      set "perf/pipeline_slots" (float_of_int (Perf.pipeline_slots config));
+      set "perf/throughput_tokens_per_s" (Perf.throughput_tokens_per_s config ~context);
+      set "perf/comm_s" b.Perf.comm_s;
+      set "perf/projection_s" b.Perf.projection_s;
+      set "perf/nonlinear_s" b.Perf.nonlinear_s;
+      set "perf/attention_s" b.Perf.attention_s;
+      set "perf/stall_s" b.Perf.stall_s;
+      List.iter
+        (fun (name, d) -> set (Printf.sprintf "perf/stage_s/%s" name) d)
+        (Perf.stage_times_s config ~context);
+      write_file path (Obs.Metrics.to_json m);
+      Printf.printf "metrics written to %s\n" path
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Throughput/latency/breakdown at a context length")
-    Term.(const run $ context_arg $ stages_flag)
+    Term.(const run $ context_arg $ stages_flag $ metrics_arg)
 
 (* --- tco ---------------------------------------------------------------- *)
 
@@ -161,12 +192,15 @@ let simulate_cmd =
   let prefill = Arg.(value & opt int 128 & info [ "prefill" ] ~doc:"Mean prompt tokens.") in
   let decode = Arg.(value & opt int 128 & info [ "decode" ] ~doc:"Mean decode tokens.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
-  let run n rate prefill decode seed context =
+  let run n rate prefill decode seed context metrics_out =
     let rng = Rng.create seed in
     let reqs =
       Scheduler.workload rng ~n ~rate_per_s:rate ~mean_prefill:prefill ~mean_decode:decode
     in
-    let r = Scheduler.simulate ~context config reqs in
+    let obs =
+      match metrics_out with None -> None | Some _ -> Some (Obs.Sink.create ())
+    in
+    let r = Scheduler.simulate ~context ?obs config reqs in
     Printf.printf "Continuous batching on %d slots (%d requests):\n"
       (Perf.pipeline_slots config) n;
     Printf.printf "  makespan          %s\n" (Units.seconds r.Scheduler.makespan_s);
@@ -187,11 +221,102 @@ let simulate_cmd =
       Printf.printf "  TTFT p50 / p95    %s / %s\n"
         (Units.seconds (Stats.percentile ttft 0.5))
         (Units.seconds (Stats.percentile ttft 0.95))
-    end
+    end;
+    match (obs, metrics_out) with
+    | Some o, Some path ->
+      write_file path (Obs.Metrics.to_json (Obs.Sink.metrics o));
+      Printf.printf "metrics written to %s\n" path
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Continuous-batching workload simulation")
-    Term.(const run $ n $ rate $ prefill $ decode $ seed $ context_arg)
+    Term.(const run $ n $ rate $ prefill $ decode $ seed $ context_arg $ metrics_arg)
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let n = Arg.(value & opt int 200 & info [ "requests"; "n" ] ~doc:"Number of requests.") in
+  let rate =
+    Arg.(value & opt float 1000.0 & info [ "rate" ] ~doc:"Arrival rate (requests/s).")
+  in
+  let prefill = Arg.(value & opt int 128 & info [ "prefill" ] ~doc:"Mean prompt tokens.") in
+  let decode = Arg.(value & opt int 128 & info [ "decode" ] ~doc:"Mean decode tokens.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let tokens =
+    Arg.(
+      value & opt int 200
+      & info [ "tokens" ] ~doc:"Tokens through the stage-level pipeline simulator.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Chrome trace-event JSON output path.")
+  in
+  let jsonl =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also write the event stream as JSONL.")
+  in
+  let metrics_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Write the metrics registry as JSON.")
+  in
+  let run n rate prefill decode seed tokens context out jsonl metrics_json =
+    let obs = Obs.Sink.create () in
+    (* One sink, three simulators, one simulated timeline: the serving
+       scheduler, the stage-level decode pipeline, and the NoC column
+       all-reduces of the MoE combine — plus the thermal operating point. *)
+    let rng = Rng.create seed in
+    let reqs =
+      Scheduler.workload rng ~n ~rate_per_s:rate ~mean_prefill:prefill
+        ~mean_decode:decode
+    in
+    let r = Scheduler.simulate ~context ~obs config reqs in
+    let t = Trace.run ~tokens ~context ~obs config in
+    let bytes = Config.q_dim config / Topology.cols * 2 in
+    List.iter
+      (fun col ->
+        let group = Topology.col_group col in
+        let plan = Schedule.all_reduce ~group ~bytes in
+        let vals =
+          List.map (fun c -> (c, Array.init 8 (fun i -> float_of_int (c + i)))) group
+        in
+        ignore (Schedule.run_all_reduce ~plan ~obs ~group vals))
+      [ 0; 1; 2; 3 ];
+    let th = Thermal.analyze ~config ~obs () in
+    write_file out (Obs.Chrome_trace.to_json (Obs.Sink.events obs));
+    (match jsonl with
+    | Some path -> write_file path (Obs.Chrome_trace.to_jsonl (Obs.Sink.events obs))
+    | None -> ());
+    (match metrics_json with
+    | Some path -> write_file path (Obs.Metrics.to_json (Obs.Sink.metrics obs))
+    | None -> ());
+    Printf.printf "trace written to %s (%d events, %d dropped)\n" out
+      (List.length (Obs.Sink.events obs))
+      (Obs.Sink.dropped obs);
+    Printf.printf
+      "  scheduler: %d requests, %s tokens/s, occupancy %s\n"
+      (List.length r.Scheduler.completed_requests)
+      (Units.group_thousands (int_of_float r.Scheduler.throughput_tokens_per_s))
+      (Units.percent r.Scheduler.mean_slot_occupancy);
+    Printf.printf "  pipeline:  %d tokens, measured %s tokens/s\n" tokens
+      (Units.group_thousands (int_of_float t.Trace.measured_throughput_tokens_per_s));
+    Printf.printf "  thermal:   junction %.1fC (%s)\n" th.Thermal.junction_temp_c
+      (if th.Thermal.within_limits then "within limits" else "OVER LIMITS");
+    print_newline ();
+    Table.print ~title:"Metrics" (Obs.Metrics.to_table (Obs.Sink.metrics obs))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run an instrumented workload and export spans/metrics: a Chrome \
+          trace-event JSON (load in Perfetto or chrome://tracing) covering \
+          the scheduler, the stage-level pipeline and the NoC collectives \
+          on one simulated timeline")
+    Term.(
+      const run $ n $ rate $ prefill $ decode $ seed $ tokens $ context_arg
+      $ out $ jsonl $ metrics_json)
 
 (* --- generate ------------------------------------------------------------- *)
 
@@ -662,6 +787,7 @@ let check_cmd =
              for user bundles and the round-trip smoke test CI runs.")
   in
   let run json verbose fixture self_test list_rules bundle export_bundle =
+    if verbose then Logs.set_level (Some Logs.Info);
     if list_rules then List.iter print_endline Signoff.rules
     else if self_test then begin
       let failures =
@@ -778,7 +904,10 @@ let main =
       tables_cmd; perf_cmd; tco_cmd; nre_cmd; simulate_cmd; generate_cmd;
       neuron_cmd; ablate_cmd; deploy_cmd; signoff_cmd; carbon_cmd; export_cmd;
       slo_cmd; fleet_cmd; equivalence_cmd; compile_cmd; speculate_cmd;
-      check_cmd;
+      check_cmd; trace_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  exit (Cmd.eval main)

@@ -17,7 +17,8 @@ let coolant_c = 35.0
 
 let thermal_resistance_k_per_w = 0.08
 
-let analyze ?tech ?config ?(power_scale = 1.0) ?(coolant_c = coolant_c) () =
+let analyze ?tech ?config ?(power_scale = 1.0) ?(coolant_c = coolant_c) ?obs
+    ?(obs_ts_s = 0.0) () =
   if power_scale <= 0.0 then invalid_arg "Thermal.analyze: non-positive power scale";
   let fp = Floorplan.table1 ?tech ?config () in
   let densities =
@@ -38,14 +39,42 @@ let analyze ?tech ?config ?(power_scale = 1.0) ?(coolant_c = coolant_c) () =
   in
   let rise = power_scale *. fp.Floorplan.total_power_w *. thermal_resistance_k_per_w in
   let junction = coolant_c +. rise in
-  {
-    densities;
-    average_w_per_mm2 = average;
-    peak_w_per_mm2 = peak;
-    junction_rise_k = rise;
-    junction_temp_c = junction;
-    within_limits = peak < dlc_limit_w_per_mm2 && junction < max_junction_c;
-  }
+  let result =
+    {
+      densities;
+      average_w_per_mm2 = average;
+      peak_w_per_mm2 = peak;
+      junction_rise_k = rise;
+      junction_temp_c = junction;
+      within_limits = peak < dlc_limit_w_per_mm2 && junction < max_junction_c;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let module Event = Hnlpu_obs.Event in
+    let m = Hnlpu_obs.Sink.metrics o in
+    let track = Event.track ~process:"thermal" ~thread:"operating-point" in
+    List.iter
+      (fun d ->
+        Hnlpu_obs.Sink.sample o ~track
+          ~name:(Printf.sprintf "thermal/density_w_per_mm2/%s" d.thermal_block)
+          ~ts_s:obs_ts_s d.density_w_per_mm2)
+      result.densities;
+    Hnlpu_obs.Sink.sample o ~track ~name:"thermal/junction_c" ~ts_s:obs_ts_s
+      junction;
+    Hnlpu_obs.Sink.instant o ~cat:"thermal" ~track ~name:"operating_point"
+      ~ts_s:obs_ts_s
+      ~args:
+        [
+          ("power_scale", Event.F power_scale);
+          ("coolant_c", Event.F coolant_c);
+          ("within_limits", Event.S (if result.within_limits then "yes" else "no"));
+        ];
+    Hnlpu_obs.Metrics.set m "thermal/average_w_per_mm2" average;
+    Hnlpu_obs.Metrics.set m "thermal/peak_w_per_mm2" peak;
+    Hnlpu_obs.Metrics.set m "thermal/junction_rise_k" rise);
+  result
 
 let hotspot t =
   match t.densities with

@@ -113,6 +113,10 @@ module Deployment = Hnlpu_tco.Deployment
 module Carbon = Hnlpu_tco.Carbon
 module Sensitivity = Hnlpu_tco.Sensitivity
 
+(** {1 Observability (spans, metrics, Chrome-trace export)} *)
+
+module Obs = Hnlpu_obs
+
 (** {1 Static signoff (DRC/LVS/schedule/budget linting)} *)
 
 module Diagnostic = Hnlpu_verify.Diagnostic

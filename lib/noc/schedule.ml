@@ -95,17 +95,48 @@ let makespan ?(link = Link.cxl3) plan =
 
 let transfer_count plan = List.fold_left (fun a s -> a + List.length s) 0 plan
 
-let run_all_reduce ?plan ~group vals =
+let run_all_reduce ?plan ?obs ?(link = Link.cxl3) ?(t0_s = 0.0) ~group vals =
   (match vals with
   | [] -> invalid_arg "Schedule.run_all_reduce: empty"
   | _ -> ());
   let plan =
     match plan with Some p -> p | None -> all_reduce ~group ~bytes:0
   in
+  (* Transfers of one step start together at the step's offset into the
+     plan's makespan; the telemetry timeline reuses the same link model as
+     {!makespan}, so spans and the reported makespan agree. *)
+  let step_start = ref t0_s in
+  let emit_step phase step =
+    match obs with
+    | None -> ()
+    | Some o ->
+      let module Event = Hnlpu_obs.Event in
+      let m = Hnlpu_obs.Sink.metrics o in
+      let worst = ref 0.0 in
+      List.iter
+        (fun { src; dst; bytes } ->
+          let d = Link.transfer_time_s link ~bytes in
+          worst := Float.max !worst d;
+          Hnlpu_obs.Sink.span o ~cat:"transfer"
+            ~args:[ ("bytes", Event.I bytes); ("step", Event.I phase);
+                    ("dst", Event.I dst) ]
+            ~track:
+              (Event.track ~process:"noc"
+                 ~thread:(Printf.sprintf "chip%02d" src))
+            ~name:(Printf.sprintf "->chip%02d" dst)
+            ~start_s:!step_start ~dur_s:d;
+          Hnlpu_obs.Metrics.incr m "noc/transfers";
+          Hnlpu_obs.Metrics.incr m ~by:(float_of_int bytes) "noc/bytes_sent";
+          Hnlpu_obs.Metrics.observe m "noc/transfer_s" d)
+        step;
+      step_start := !step_start +. !worst;
+      Hnlpu_obs.Metrics.set m "noc/makespan_s" (!step_start -. t0_s)
+  in
   let state = Hashtbl.create 16 in
   List.iter (fun (c, v) -> Hashtbl.replace state c (Array.copy v)) vals;
   List.iteri
     (fun phase step ->
+      emit_step phase step;
       (* Phase 0 is the reduce (receivers accumulate); phase 1 the
          broadcast (receivers overwrite). *)
       let incoming = Hashtbl.create 16 in

@@ -57,10 +57,17 @@ val transfer_count : t -> int
 (** {1 Execution on values} *)
 
 val run_all_reduce :
-  ?plan:t -> group:Topology.chip list -> Collective.valued -> Collective.valued
+  ?plan:t -> ?obs:Hnlpu_obs.Sink.t -> ?link:Link.t -> ?t0_s:float ->
+  group:Topology.chip list -> Collective.valued -> Collective.valued
 (** Execute an all-reduce plan transfer by transfer on real vectors
     (merging at receivers on the first step, overwriting on later steps)
     and return the per-chip results — must equal {!Collective.all_reduce}
     (tested).  [plan] defaults to {!all_reduce} over [group]; passing a
     user plan lets signoff diff what the plan {e computes} against the
-    mathematical sum (the NOC-EXEC rule). *)
+    mathematical sum (the NOC-EXEC rule).
+
+    [obs] records one span per transfer — on the sending chip's track,
+    tagged with bytes, step index and destination — timed with [link]
+    (default {!Link.cxl3}) from [t0_s] (default 0) so the stream agrees
+    with {!makespan}; per-plan byte/transfer counters and a makespan gauge
+    land in the metrics registry.  Values computed are unaffected. *)

@@ -1,0 +1,135 @@
+let us t = Json.number (t *. 1e6)
+
+let render_arg = function
+  | Event.S s -> Json.string s
+  | Event.I i -> Json.int i
+  | Event.F f -> Json.number f
+
+let render_args args = Json.obj (List.map (fun (k, v) -> (k, render_arg v)) args)
+
+(* pid per process name, tid per (process, thread), both in first-appearance
+   order so identical event streams export identically. *)
+type ids = {
+  pids : (string, int) Hashtbl.t;
+  tids : (string * string, int) Hashtbl.t;
+  mutable meta : string list; (* reversed metadata events *)
+}
+
+let ids_create () = { pids = Hashtbl.create 8; tids = Hashtbl.create 32; meta = [] }
+
+let pid ids process =
+  match Hashtbl.find_opt ids.pids process with
+  | Some p -> p
+  | None ->
+    let p = Hashtbl.length ids.pids + 1 in
+    Hashtbl.add ids.pids process p;
+    ids.meta <-
+      Json.obj
+        [
+          ("name", Json.string "process_name");
+          ("ph", Json.string "M");
+          ("pid", Json.int p);
+          ("args", Json.obj [ ("name", Json.string process) ]);
+        ]
+      :: ids.meta;
+    p
+
+let tid ids (track : Event.track) =
+  let p = pid ids track.Event.process in
+  match Hashtbl.find_opt ids.tids (track.Event.process, track.Event.thread) with
+  | Some t -> (p, t)
+  | None ->
+    let t = Hashtbl.length ids.tids + 1 in
+    Hashtbl.add ids.tids (track.Event.process, track.Event.thread) t;
+    ids.meta <-
+      Json.obj
+        [
+          ("name", Json.string "thread_name");
+          ("ph", Json.string "M");
+          ("pid", Json.int p);
+          ("tid", Json.int t);
+          ("args", Json.obj [ ("name", Json.string track.Event.thread) ]);
+        ]
+      :: ids.meta;
+    (p, t)
+
+let render_event ids ev =
+  let on track rest =
+    let p, t = tid ids track in
+    Json.obj (rest @ [ ("pid", Json.int p); ("tid", Json.int t) ])
+  in
+  match ev with
+  | Event.Span { track; name; cat; ts_s; dur_s; args } ->
+    on track
+      [
+        ("name", Json.string name);
+        ("cat", Json.string (if cat = "" then track.Event.process else cat));
+        ("ph", Json.string "X");
+        ("ts", us ts_s);
+        ("dur", us dur_s);
+        ("args", render_args args);
+      ]
+  | Event.Instant { track; name; cat; ts_s; args } ->
+    on track
+      [
+        ("name", Json.string name);
+        ("cat", Json.string (if cat = "" then track.Event.process else cat));
+        ("ph", Json.string "i");
+        ("ts", us ts_s);
+        ("s", Json.string "t");
+        ("args", render_args args);
+      ]
+  | Event.Counter { track; name; ts_s; value } ->
+    on track
+      [
+        ("name", Json.string name);
+        ("ph", Json.string "C");
+        ("ts", us ts_s);
+        ("args", Json.obj [ ("value", Json.number value) ]);
+      ]
+
+let to_json events =
+  let ids = ids_create () in
+  let rendered = List.map (render_event ids) events in
+  let all = List.rev_append ids.meta rendered in
+  Printf.sprintf "{\"traceEvents\": %s, \"displayTimeUnit\": \"ms\"}\n"
+    (Json.arr all)
+
+let jsonl_line ev =
+  let base (track : Event.track) rest =
+    Json.obj
+      (( "process", Json.string track.Event.process)
+       :: ("thread", Json.string track.Event.thread)
+       :: rest)
+  in
+  match ev with
+  | Event.Span { track; name; cat; ts_s; dur_s; args } ->
+    base track
+      [
+        ("kind", Json.string "span");
+        ("name", Json.string name);
+        ("cat", Json.string cat);
+        ("ts_s", Json.number ts_s);
+        ("dur_s", Json.number dur_s);
+        ("args", render_args args);
+      ]
+  | Event.Instant { track; name; cat; ts_s; args } ->
+    base track
+      [
+        ("kind", Json.string "instant");
+        ("name", Json.string name);
+        ("cat", Json.string cat);
+        ("ts_s", Json.number ts_s);
+        ("args", render_args args);
+      ]
+  | Event.Counter { track; name; ts_s; value } ->
+    base track
+      [
+        ("kind", Json.string "counter");
+        ("name", Json.string name);
+        ("ts_s", Json.number ts_s);
+        ("value", Json.number value);
+      ]
+
+let to_jsonl events =
+  String.concat "" (List.map (fun ev -> jsonl_line ev ^ "\n") events)

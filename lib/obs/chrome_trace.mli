@@ -1,0 +1,19 @@
+(** Exporters for recorded event streams.
+
+    {!to_json} writes the Chrome trace-event format (the ["traceEvents"]
+    JSON object array with "X"/"i"/"C"-phase events and process/thread
+    metadata), loadable in Perfetto (https://ui.perfetto.dev) or
+    chrome://tracing.  Timestamps convert from simulated seconds to the
+    format's microseconds.  Process and thread ids are assigned in first-
+    appearance order, so a deterministic event stream exports to
+    byte-identical JSON (tested).
+
+    {!to_jsonl} writes the same events one JSON object per line for
+    streaming consumers (jq, log pipelines). *)
+
+val to_json : Event.t list -> string
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val to_jsonl : Event.t list -> string
+(** One event object per line, no wrapper; metadata events omitted (each
+    line carries its track names inline instead). *)

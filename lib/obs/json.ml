@@ -1,0 +1,33 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string s = "\"" ^ escape s ^ "\""
+
+let int = string_of_int
+
+let number f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let bool b = if b then "true" else "false"
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> string k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"

@@ -1,0 +1,172 @@
+open Hnlpu_util
+
+type hist = { mutable buf : float array; mutable n : int }
+
+type series = Counter of float ref | Gauge of float ref | Hist of hist
+
+type t = { series : (string, series) Hashtbl.t }
+
+let create () = { series = Hashtbl.create 32 }
+
+let kind_label = function Counter _ -> "counter" | Gauge _ -> "gauge" | Hist _ -> "histogram"
+
+let lookup t name ~want ~make =
+  match Hashtbl.find_opt t.series name with
+  | Some s ->
+    if not (want s) then
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already a %s" name (kind_label s));
+    s
+  | None ->
+    let s = make () in
+    Hashtbl.add t.series name s;
+    s
+
+let incr t ?(by = 1.0) name =
+  match
+    lookup t name
+      ~want:(function Counter _ -> true | _ -> false)
+      ~make:(fun () -> Counter (ref 0.0))
+  with
+  | Counter r -> r := !r +. by
+  | _ -> assert false
+
+let set t name v =
+  match
+    lookup t name
+      ~want:(function Gauge _ -> true | _ -> false)
+      ~make:(fun () -> Gauge (ref 0.0))
+  with
+  | Gauge r -> r := v
+  | _ -> assert false
+
+let observe t name v =
+  match
+    lookup t name
+      ~want:(function Hist _ -> true | _ -> false)
+      ~make:(fun () -> Hist { buf = Array.make 64 0.0; n = 0 })
+  with
+  | Hist h ->
+    if h.n = Array.length h.buf then begin
+      let bigger = Array.make (2 * h.n) 0.0 in
+      Array.blit h.buf 0 bigger 0 h.n;
+      h.buf <- bigger
+    end;
+    h.buf.(h.n) <- v;
+    h.n <- h.n + 1
+  | _ -> assert false
+
+let counter t name =
+  match Hashtbl.find_opt t.series name with
+  | Some (Counter r) -> Some !r
+  | _ -> None
+
+let gauge t name =
+  match Hashtbl.find_opt t.series name with
+  | Some (Gauge r) -> Some !r
+  | _ -> None
+
+type summary = {
+  count : int;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with
+  | Some (Hist h) -> Some (Array.sub h.buf 0 h.n)
+  | _ -> None
+
+let summarize xs =
+  let s = Stats.create () in
+  Array.iter (Stats.add s) xs;
+  {
+    count = Array.length xs;
+    mean = Stats.mean s;
+    min_v = Stats.min s;
+    max_v = Stats.max s;
+    p50 = Stats.percentile xs 0.5;
+    p95 = Stats.percentile xs 0.95;
+    p99 = Stats.percentile xs 0.99;
+  }
+
+let histogram t name = Option.map summarize (samples t name)
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] |> List.sort compare
+
+let is_empty t = Hashtbl.length t.series = 0
+
+let to_json t =
+  let of_kind keep render =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt t.series name with
+        | Some s when keep s -> Some (name, render s)
+        | _ -> None)
+      (names t)
+  in
+  let counters =
+    of_kind
+      (function Counter _ -> true | _ -> false)
+      (function Counter r -> Json.number !r | _ -> assert false)
+  in
+  let gauges =
+    of_kind
+      (function Gauge _ -> true | _ -> false)
+      (function Gauge r -> Json.number !r | _ -> assert false)
+  in
+  let hists =
+    of_kind
+      (function Hist _ -> true | _ -> false)
+      (function
+        | Hist h ->
+          let s = summarize (Array.sub h.buf 0 h.n) in
+          Json.obj
+            [
+              ("count", Json.int s.count);
+              ("mean", Json.number s.mean);
+              ("min", Json.number s.min_v);
+              ("max", Json.number s.max_v);
+              ("p50", Json.number s.p50);
+              ("p95", Json.number s.p95);
+              ("p99", Json.number s.p99);
+            ]
+        | _ -> assert false)
+  in
+  Json.obj
+    [
+      ("counters", Json.obj counters);
+      ("gauges", Json.obj gauges);
+      ("histograms", Json.obj hists);
+    ]
+  ^ "\n"
+
+let to_table t =
+  let table =
+    Table.create ~headers:[ "Metric"; "Kind"; "Value"; "p50"; "p95"; "p99" ]
+  in
+  let num v = Printf.sprintf "%.6g" v in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.series name with
+      | Some (Counter r) -> Table.add_row table [ name; "counter"; num !r; ""; ""; "" ]
+      | Some (Gauge r) -> Table.add_row table [ name; "gauge"; num !r; ""; ""; "" ]
+      | Some (Hist h) ->
+        let s = summarize (Array.sub h.buf 0 h.n) in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "hist[%d]" s.count;
+            num s.mean;
+            num s.p50;
+            num s.p95;
+            num s.p99;
+          ]
+      | None -> ())
+    (names t);
+  table

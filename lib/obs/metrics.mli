@@ -1,0 +1,57 @@
+(** Named-metric registry: counters, gauges and histograms.
+
+    Names are free-form but the convention is "subsystem/metric"
+    ("scheduler/ttft_s", "noc/bytes_sent").  A name is bound to one kind on
+    first use; mixing kinds under one name raises [Invalid_argument], which
+    catches instrumentation typos at the call site.
+
+    Histograms retain their raw samples (simulation runs are bounded) and
+    summarize through {!Hnlpu_util.Stats} — the same percentile code the
+    rest of the repository reports with, so a measured p95 here and a p95
+    in an SLO sweep mean the same thing. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:float -> string -> unit
+(** Monotonic counter; [by] defaults to 1. *)
+
+val set : t -> string -> float -> unit
+(** Gauge: last-write-wins. *)
+
+val observe : t -> string -> float -> unit
+(** Histogram sample. *)
+
+val counter : t -> string -> float option
+
+val gauge : t -> string -> float option
+
+type summary = {
+  count : int;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val histogram : t -> string -> summary option
+
+val samples : t -> string -> float array option
+(** A copy of a histogram's raw samples, in observation order. *)
+
+val names : t -> string list
+(** All registered names, sorted (exports are deterministic). *)
+
+val is_empty : t -> bool
+
+val to_json : t -> string
+(** [{"counters": {..}, "gauges": {..}, "histograms": {name: {"count": ..,
+    "mean": .., "min": .., "max": .., "p50": .., "p95": .., "p99": ..}}}],
+    keys sorted. *)
+
+val to_table : t -> Hnlpu_util.Table.t
+(** Human-readable rendering: one row per metric, histograms summarized as
+    count/mean/p50/p95/p99. *)

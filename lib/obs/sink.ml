@@ -1,0 +1,25 @@
+type t = { ring : Event.t Ring.t; metrics : Metrics.t }
+
+let create ?(capacity = 65536) () =
+  { ring = Ring.create ~capacity; metrics = Metrics.create () }
+
+let metrics t = t.metrics
+
+let span ?(cat = "") ?(args = []) t ~track ~name ~start_s ~dur_s =
+  if Float.is_nan dur_s || dur_s < 0.0 || dur_s = infinity then
+    invalid_arg
+      (Printf.sprintf "Sink.span: bad duration %g for %S" dur_s name);
+  Ring.push t.ring (Event.Span { track; name; cat; ts_s = start_s; dur_s; args })
+
+let instant ?(cat = "") ?(args = []) t ~track ~name ~ts_s =
+  Ring.push t.ring (Event.Instant { track; name; cat; ts_s; args })
+
+let sample t ~track ~name ~ts_s value =
+  Ring.push t.ring (Event.Counter { track; name; ts_s; value });
+  Metrics.set t.metrics name value
+
+let events t = Ring.to_list t.ring
+
+let recorded t = Ring.pushed t.ring
+
+let dropped t = Ring.dropped t.ring

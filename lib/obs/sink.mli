@@ -1,0 +1,39 @@
+(** The telemetry sink simulators record into.
+
+    Simulators take an optional [?obs : Sink.t]; when absent they skip all
+    recording (the call sites pattern-match on [None] before building any
+    event), so instrumentation costs nothing when off and results are
+    bit-identical to the uninstrumented path.  When present, spans and
+    samples land in a bounded {!Ring} of {!Event.t} and aggregates in a
+    {!Metrics} registry, both exportable after the run. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh sink retaining at most [capacity] (default 65,536) events. *)
+
+val metrics : t -> Metrics.t
+
+val span :
+  ?cat:string -> ?args:(string * Event.arg) list -> t ->
+  track:Event.track -> name:string -> start_s:float -> dur_s:float -> unit
+(** Record a completed span.  Raises [Invalid_argument] on a negative or
+    non-finite duration — a malformed span means the instrumentation
+    itself is wrong, which must not pass silently. *)
+
+val instant :
+  ?cat:string -> ?args:(string * Event.arg) list -> t ->
+  track:Event.track -> name:string -> ts_s:float -> unit
+
+val sample : t -> track:Event.track -> name:string -> ts_s:float -> float -> unit
+(** One counter-series sample on the timeline; also mirrors the latest
+    value into {!metrics} as a gauge under the same name. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded (retained + dropped). *)
+
+val dropped : t -> int
+(** Events evicted by the ring bound. *)

@@ -37,6 +37,7 @@ type seq = {
   mutable position : int;                 (** Tokens consumed so far. *)
   mutable injected_first : float option;  (** First injection time. *)
   mutable first_token : float option;     (** First decode completion. *)
+  mutable prefill_done : float option;    (** Last prefill-token completion. *)
 }
 
 type token_kind = Prefill | Decode
@@ -46,8 +47,10 @@ type event = Arrival of seq | Complete of seq * token_kind | Wakeup
 let saturated_throughput ?tech ?(context = 2048) config =
   Perf.throughput_tokens_per_s ?tech config ~context
 
+let obs_track = Hnlpu_obs.Event.track ~process:"scheduler"
+
 let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = [])
-    config requests =
+    ?obs config requests =
   let latency = Perf.token_latency_s ?tech config ~context in
   (* Context-aware latency, bucketed at powers of two and memoized. *)
   let bucket_cache = Hashtbl.create 16 in
@@ -94,6 +97,7 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
              position = 0;
              injected_first = None;
              first_token = None;
+             prefill_done = None;
            }))
     requests;
   List.iter
@@ -109,6 +113,67 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
   let advance_clock t =
     occupancy := !occupancy +. (float_of_int !busy *. (t -. !last_time));
     last_time := t
+  in
+  (* Counter-series samples, emitted only on value changes so the timeline
+     stays readable; everything below is skipped when [obs] is absent. *)
+  let last_queue = ref (-1) and last_busy = ref (-1) in
+  let sample_gauges now =
+    match obs with
+    | None -> ()
+    | Some o ->
+      let module Sink = Hnlpu_obs.Sink in
+      let track = obs_track ~thread:"load" in
+      let q = Queue.length prefill_queue + Queue.length decode_queue in
+      if q <> !last_queue then begin
+        Sink.sample o ~track ~name:"scheduler/queue_depth" ~ts_s:now
+          (float_of_int q);
+        last_queue := q
+      end;
+      if !busy <> !last_busy then begin
+        Sink.sample o ~track ~name:"scheduler/busy_slots" ~ts_s:now
+          (float_of_int !busy);
+        last_busy := !busy
+      end
+  in
+  let record_completion (s : seq) ~finish =
+    match obs with
+    | None -> ()
+    | Some o ->
+      let module Sink = Hnlpu_obs.Sink in
+      let module Event = Hnlpu_obs.Event in
+      let m = Sink.metrics o in
+      let arrival = s.req.arrival_s in
+      let injected =
+        match s.injected_first with Some x -> x | None -> arrival
+      in
+      let prefill_done =
+        match s.prefill_done with Some x -> x | None -> injected
+      in
+      let first_token =
+        match s.first_token with Some x -> x | None -> finish
+      in
+      let track = obs_track ~thread:(Printf.sprintf "req%04d" s.id) in
+      let args =
+        [
+          ("id", Event.I s.id);
+          ("prefill_tokens", Event.I s.req.prefill_tokens);
+          ("decode_tokens", Event.I s.req.decode_tokens);
+        ]
+      in
+      Sink.span o ~cat:"request" ~args ~track ~name:"request" ~start_s:arrival
+        ~dur_s:(finish -. arrival);
+      Sink.span o ~cat:"request" ~track ~name:"queued" ~start_s:arrival
+        ~dur_s:(injected -. arrival);
+      Sink.span o ~cat:"request" ~track ~name:"prefill" ~start_s:injected
+        ~dur_s:(prefill_done -. injected);
+      Sink.span o ~cat:"request" ~track ~name:"decode" ~start_s:prefill_done
+        ~dur_s:(finish -. prefill_done);
+      Sink.instant o ~cat:"request" ~track ~name:"first_token"
+        ~ts_s:first_token;
+      Hnlpu_obs.Metrics.incr m "scheduler/requests_completed";
+      Hnlpu_obs.Metrics.observe m "scheduler/ttft_s" (first_token -. arrival);
+      Hnlpu_obs.Metrics.observe m "scheduler/e2e_s" (finish -. arrival);
+      Hnlpu_obs.Metrics.observe m "scheduler/queue_wait_s" (injected -. arrival)
   in
   let try_inject now =
     let injected_wakeup = ref false in
@@ -171,8 +236,10 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
         (match kind with
         | Prefill ->
           s.prefill_inflight <- s.prefill_inflight - 1;
-          if s.prefill_remaining = 0 && s.prefill_inflight = 0 then
+          if s.prefill_remaining = 0 && s.prefill_inflight = 0 then begin
+            s.prefill_done <- Some t;
             Queue.push s decode_queue
+          end
         | Decode ->
           incr decode_tokens_out;
           if s.first_token = None then s.first_token <- Some t;
@@ -189,20 +256,37 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
                 finish_s = t;
                 queue_wait_s = injected -. s.req.arrival_s;
               }
-              :: !completed
+              :: !completed;
+            record_completion s ~finish:t
           end);
         try_inject t);
+      sample_gauges t;
       loop ()
   in
   loop ();
   let makespan = !makespan in
-  {
-    completed_requests = List.rev !completed;
-    makespan_s = makespan;
-    tokens_processed = !tokens;
-    decode_tokens_out = !decode_tokens_out;
-    throughput_tokens_per_s =
-      (if makespan > 0.0 then float_of_int !tokens /. makespan else 0.0);
-    mean_slot_occupancy =
-      (if makespan > 0.0 then !occupancy /. (makespan *. float_of_int slots) else 0.0);
-  }
+  let result =
+    {
+      completed_requests = List.rev !completed;
+      makespan_s = makespan;
+      tokens_processed = !tokens;
+      decode_tokens_out = !decode_tokens_out;
+      throughput_tokens_per_s =
+        (if makespan > 0.0 then float_of_int !tokens /. makespan else 0.0);
+      mean_slot_occupancy =
+        (if makespan > 0.0 then !occupancy /. (makespan *. float_of_int slots) else 0.0);
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let m = Hnlpu_obs.Sink.metrics o in
+    Hnlpu_obs.Metrics.incr m ~by:(float_of_int !tokens) "scheduler/tokens_processed";
+    Hnlpu_obs.Metrics.incr m ~by:(float_of_int !decode_tokens_out)
+      "scheduler/decode_tokens_out";
+    Hnlpu_obs.Metrics.set m "scheduler/makespan_s" makespan;
+    Hnlpu_obs.Metrics.set m "scheduler/throughput_tokens_per_s"
+      result.throughput_tokens_per_s;
+    Hnlpu_obs.Metrics.set m "scheduler/mean_slot_occupancy"
+      result.mean_slot_occupancy);
+  result

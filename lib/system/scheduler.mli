@@ -46,10 +46,18 @@ val workload :
 
 val simulate :
   ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?context_aware:bool ->
-  ?slot_failures:(float * int) list -> Hnlpu_model.Config.t ->
-  request list -> result
+  ?slot_failures:(float * int) list -> ?obs:Hnlpu_obs.Sink.t ->
+  Hnlpu_model.Config.t -> request list -> result
 (** Run to completion of all requests.  [context] sets the per-token
     latency operating point (default 2048).
+
+    [obs] installs a telemetry sink.  Each completed request records a
+    "request" span with "queued"/"prefill"/"decode" child spans and a
+    "first_token" instant on its own track; queue depth and busy slots are
+    sampled as counter series on value changes; the metrics registry gains
+    TTFT/E2E/queue-wait histograms and run aggregates.  With no sink the
+    simulation takes the identical code path and the result is
+    bit-identical to the uninstrumented simulator (tested).
 
     [context_aware] (default false) makes each token's latency depend on
     its sequence's current length instead of the fixed operating point —

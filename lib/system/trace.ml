@@ -18,8 +18,10 @@ type t = {
   stage_stats : stage_stat list;
 }
 
-let run ?(tech = Hnlpu_gates.Tech.n5) ?(context = 2048) ?(tokens = 2000) (c : Config.t) =
+let run ?(tech = Hnlpu_gates.Tech.n5) ?(context = 2048) ?(tokens = 2000) ?obs
+    ?(obs_tokens = 32) (c : Config.t) =
   if tokens < 10 then invalid_arg "Trace.run: need at least 10 tokens";
+  if obs_tokens < 0 then invalid_arg "Trace.run: obs_tokens must be >= 0";
   let per_layer = Perf.stage_times_s ~tech c ~context in
   let layers = c.Config.num_layers in
   (* The full pipeline: layer-major, stage-minor. *)
@@ -47,6 +49,25 @@ let run ?(tech = Hnlpu_gates.Tech.n5) ?(context = 2048) ?(tokens = 2000) (c : Co
      stage's), so queueing does not pile up at the entry and the measured
      latency reflects the flow, not an unbounded backlog. *)
   let inject_ii = Array.fold_left Float.max 0.0 ii in
+  (* Span recording covers the first [obs_tokens] tokens: enough to see the
+     pipeline fill and reach steady state without drowning the ring buffer
+     in tokens x stages spans.  One track per (stage, slot) keeps spans on
+     a track disjoint — token t+slots enters at least d seconds after
+     token t. *)
+  let emit_span t s enter d =
+    match obs with
+    | None -> ()
+    | Some o when t >= obs_tokens -> ignore o
+    | Some o ->
+      let label, _ = services.(s) in
+      Hnlpu_obs.Sink.span o ~cat:"stage"
+        ~args:[ ("token", Hnlpu_obs.Event.I t); ("stage", Hnlpu_obs.Event.I s) ]
+        ~track:
+          (Hnlpu_obs.Event.track ~process:"pipeline"
+             ~thread:(Printf.sprintf "%s#%d" label (t mod slots.(s))))
+        ~name:(Printf.sprintf "tok%03d" t)
+        ~start_s:enter ~dur_s:d
+  in
   for t = 0 to tokens - 1 do
     let clock = ref (float_of_int t *. inject_ii) in
     for s = 0 to n_stages - 1 do
@@ -55,6 +76,7 @@ let run ?(tech = Hnlpu_gates.Tech.n5) ?(context = 2048) ?(tokens = 2000) (c : Co
       last_entry.(s) <- enter;
       busy.(s) <- busy.(s) +. ii.(s);
       if s = 0 then entry0.(t) <- enter;
+      emit_span t s enter d;
       clock := enter +. d
     done;
     completion.(t) <- !clock
@@ -80,16 +102,33 @@ let run ?(tech = Hnlpu_gates.Tech.n5) ?(context = 2048) ?(tokens = 2000) (c : Co
            })
          services)
   in
-  {
-    tokens;
-    sim_time_s = sim_time;
-    measured_throughput_tokens_per_s = measured_tp;
-    measured_latency_s = !latency_sum /. (window +. 1.0);
-    predicted_throughput_tokens_per_s = Perf.throughput_tokens_per_s ~tech c ~context;
-    predicted_latency_s = Perf.token_latency_s ~tech c ~context;
-    total_slots = Array.fold_left ( + ) 0 slots;
-    stage_stats;
-  }
+  let result =
+    {
+      tokens;
+      sim_time_s = sim_time;
+      measured_throughput_tokens_per_s = measured_tp;
+      measured_latency_s = !latency_sum /. (window +. 1.0);
+      predicted_throughput_tokens_per_s = Perf.throughput_tokens_per_s ~tech c ~context;
+      predicted_latency_s = Perf.token_latency_s ~tech c ~context;
+      total_slots = Array.fold_left ( + ) 0 slots;
+      stage_stats;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let m = Hnlpu_obs.Sink.metrics o in
+    List.iter
+      (fun st -> Hnlpu_obs.Metrics.observe m "pipeline/stage_utilization" st.utilization)
+      result.stage_stats;
+    Hnlpu_obs.Metrics.incr m ~by:(float_of_int tokens) "pipeline/tokens";
+    Hnlpu_obs.Metrics.set m "pipeline/measured_throughput_tokens_per_s"
+      result.measured_throughput_tokens_per_s;
+    Hnlpu_obs.Metrics.set m "pipeline/measured_latency_s" result.measured_latency_s;
+    Hnlpu_obs.Metrics.set m "pipeline/predicted_throughput_tokens_per_s"
+      result.predicted_throughput_tokens_per_s;
+    Hnlpu_obs.Metrics.set m "pipeline/predicted_latency_s" result.predicted_latency_s);
+  result
 
 let busiest_stage t =
   match t.stage_stats with

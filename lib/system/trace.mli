@@ -35,9 +35,15 @@ type t = {
 
 val run :
   ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?tokens:int ->
-  Hnlpu_model.Config.t -> t
+  ?obs:Hnlpu_obs.Sink.t -> ?obs_tokens:int -> Hnlpu_model.Config.t -> t
 (** Simulate [tokens] (default 2,000) through the pipeline at a context
-    length (default 2048) and compare against {!Perf}. *)
+    length (default 2048) and compare against {!Perf}.
+
+    [obs] records per-stage service spans for the first [obs_tokens]
+    (default 32) tokens — one track per (stage, pipeline-slot), so the
+    viewer shows the pipeline filling and reaching steady state — plus a
+    stage-utilization histogram and measured-vs-predicted gauges.  The
+    numbers returned are unaffected. *)
 
 val busiest_stage : t -> stage_stat
 (** The utilization-limiting stage (for gpt-oss at 2K: the MoE all-reduce

@@ -34,8 +34,10 @@ let max t = t.hi
 let total t = t.sum
 
 let percentile samples p =
-  if Array.length samples = 0 then invalid_arg "Stats.percentile: empty";
-  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg "Stats.percentile: p out of range";
+  if Array.length samples = 0 then nan
+  else begin
   let sorted = Array.copy samples in
   Array.sort compare sorted;
   let n = Array.length sorted in
@@ -44,6 +46,7 @@ let percentile samples p =
   let hi = Stdlib.min (lo + 1) (n - 1) in
   let frac = rank -. float_of_int lo in
   (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
 
 let histogram samples ~bins =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";

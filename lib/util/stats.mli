@@ -28,8 +28,12 @@ val total : t -> float
 
 val percentile : float array -> float -> float
 (** [percentile samples p] with [p] in [\[0,1\]]: linear-interpolated
-    percentile of an unsorted sample array (the array is not modified). *)
+    percentile of an unsorted sample array (the array is not modified).
+    An empty sample array yields [nan] — absent data is a value, not a
+    crash, so report paths degrade gracefully.  [p] outside [\[0,1\]]
+    (including NaN) raises [Invalid_argument] even on empty input. *)
 
 val histogram : float array -> bins:int -> (float * int) array
 (** [histogram samples ~bins] buckets samples into [bins] equal-width bins
-    over the sample range; returns (bin lower edge, count). *)
+    over the sample range; returns (bin lower edge, count).  Empty input
+    yields [\[||\]]; [bins <= 0] raises [Invalid_argument]. *)

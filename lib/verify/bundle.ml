@@ -4,6 +4,10 @@ open Hnlpu_litho
 open Hnlpu_noc
 open Hnlpu_model
 
+let log_src = Logs.Src.create "hnlpu.bundle" ~doc:"Design-bundle loading"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 let fail path line fmt =
   Printf.ksprintf
     (fun s -> failwith (Printf.sprintf "%s:%d: %s" path line s))
@@ -97,6 +101,16 @@ let parse_manifest path =
     | Some (_, v, line) -> float_of key (v, line)
     | None -> default
   in
+  let known =
+    [ "config"; "claimed-slots"; "max-context"; "power-scale"; "coolant-c" ]
+  in
+  List.iter
+    (fun (k, _, line) ->
+      if not (List.mem k known) then
+        Log.warn (fun m ->
+            m "%s:%d: ignoring unknown manifest key %S (known: %s)" path line k
+              (String.concat ", " known)))
+    assoc;
   let config_name, config_line = required "config" in
   {
     m_config = config_by_name path config_line config_name;
@@ -334,14 +348,23 @@ let load dir =
         let sch_path = chip_file dir "schematics" chip "sch" in
         let schematic =
           if Sys.file_exists sch_path then parse_schematic sch_path
-          else schematic_of_netlist netlist
+          else begin
+            Log.info (fun m ->
+                m "%s: no schematic, deriving LVS reference from the netlist"
+                  sch_path);
+            schematic_of_netlist netlist
+          end
         in
         { Signoff.chip; netlist; schematic })
       Topology.all_chips
   in
   let plans_dir = Filename.concat dir "plans" in
   let plans =
-    if not (Sys.file_exists plans_dir) then []
+    if not (Sys.file_exists plans_dir) then begin
+      Log.warn (fun m ->
+          m "%s: no plans directory — NoC schedule rules will not run" plans_dir);
+      []
+    end
     else
       Sys.readdir plans_dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".plan")
@@ -351,7 +374,12 @@ let load dir =
   let stage_path = Filename.concat dir "stage_map" in
   let stage_map =
     if Sys.file_exists stage_path then parse_stage_map stage_path
-    else System_rules.canonical_stage_map manifest.m_config
+    else begin
+      Log.info (fun m ->
+          m "%s: no stage_map, assuming the canonical pipeline mapping"
+            stage_path);
+      System_rules.canonical_stage_map manifest.m_config
+    end
   in
   {
     Signoff.config = manifest.m_config;

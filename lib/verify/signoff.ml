@@ -79,26 +79,47 @@ let reference ?(seed = 42) ?(bank_in = 48) ?(bank_out = 6) () =
     coolant_c = Hnlpu_chip.Thermal.coolant_c;
   }
 
+let log_src = Logs.Src.create "hnlpu.verify" ~doc:"Static signoff progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 let check d =
   let subject_of chip = Printf.sprintf "chip%02d" chip in
-  List.concat_map
-    (fun cd ->
-      Netlist_rules.check_chip ~subject:(subject_of cd.chip) cd.netlist
-        cd.schematic)
-    d.chips
-  @ Netlist_rules.mask_uniformity
-      (List.map (fun cd -> (subject_of cd.chip, cd.netlist)) d.chips)
-  @ List.concat_map
-      (fun (name, coll, plan) -> Noc_rules.check ~subject:name coll plan)
-      d.plans
-  @ System_rules.pipeline_mapping ~subject:"pipeline" d.config d.stage_map
-  @ System_rules.weight_partition ~subject:"mapping" d.config
-  @ System_rules.buffer_budget ~subject:"attention-buffer" d.config
-      ~max_context:d.max_context
-  @ System_rules.scheduler_slots ~subject:"scheduler" d.config
-      ~claimed_slots:d.claimed_slots
-  @ Chip_rules.thermal ~config:d.config ~power_scale:d.power_scale
-      ~coolant_c:d.coolant_c ~subject:"thermal" ()
+  let family name ds =
+    Log.info (fun m -> m "%s: %d diagnostic(s)" name (List.length ds));
+    ds
+  in
+  let netlist =
+    family "netlist DRC/LVS"
+      (List.concat_map
+         (fun cd ->
+           Netlist_rules.check_chip ~subject:(subject_of cd.chip) cd.netlist
+             cd.schematic)
+         d.chips
+      @ Netlist_rules.mask_uniformity
+          (List.map (fun cd -> (subject_of cd.chip, cd.netlist)) d.chips))
+  in
+  let noc =
+    family "NoC schedules"
+      (List.concat_map
+         (fun (name, coll, plan) -> Noc_rules.check ~subject:name coll plan)
+         d.plans)
+  in
+  let system =
+    family "system budgets"
+      (System_rules.pipeline_mapping ~subject:"pipeline" d.config d.stage_map
+      @ System_rules.weight_partition ~subject:"mapping" d.config
+      @ System_rules.buffer_budget ~subject:"attention-buffer" d.config
+          ~max_context:d.max_context
+      @ System_rules.scheduler_slots ~subject:"scheduler" d.config
+          ~claimed_slots:d.claimed_slots)
+  in
+  let thermal =
+    family "thermal"
+      (Chip_rules.thermal ~config:d.config ~power_scale:d.power_scale
+         ~coolant_c:d.coolant_c ~subject:"thermal" ())
+  in
+  netlist @ noc @ system @ thermal
 
 let rules =
   [

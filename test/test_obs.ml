@@ -1,0 +1,636 @@
+(* Tests for Hnlpu_obs — the telemetry subsystem — and its hooks across
+   the serving simulators.
+
+   The Chrome-trace and metrics exports are validated by an in-tree
+   strict JSON parser (RFC 8259 grammar, no extensions), the same-seed
+   export is pinned byte-identical, QCheck properties assert span
+   well-formedness and request-span nesting over random workloads, and
+   the no-sink path is checked bit-identical to the uninstrumented
+   scheduler. *)
+
+open Hnlpu_obs
+
+let config = Hnlpu.Config.gpt_oss_120b
+
+(* --- A strict JSON parser (RFC 8259, nothing more) ------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub input !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for i = !pos to !pos + 3 do
+      let d =
+        match input.[i] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      v := (!v * 16) + d
+    done;
+    pos := !pos + 4;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match input.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (match peek () with
+        | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
+          Buffer.add_char buf
+            (match c with
+            | 'b' -> '\b'
+            | 'f' -> '\012'
+            | 'n' -> '\n'
+            | 'r' -> '\r'
+            | 't' -> '\t'
+            | c -> c);
+          incr pos
+        | Some 'u' ->
+          incr pos;
+          let cp = hex4 () in
+          Buffer.add_char buf (if cp < 0x80 then Char.chr cp else '?')
+        | _ -> fail "bad escape");
+        go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let digits () =
+    let start = !pos in
+    while !pos < n && input.[!pos] >= '0' && input.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail "expected digits"
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    (match peek () with
+    | Some '0' -> incr pos
+    | Some ('1' .. '9') -> digits ()
+    | _ -> fail "bad number");
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ());
+    Num (float_of_string (String.sub input start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "unexpected input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "missing key %S" key)
+  | _ -> Alcotest.failf "not an object (looking for %S)" key
+
+let as_arr = function Arr xs -> xs | _ -> Alcotest.fail "not an array"
+
+let as_num = function Num x -> x | _ -> Alcotest.fail "not a number"
+
+let as_str = function Str s -> s | _ -> Alcotest.fail "not a string"
+
+let test_parser_is_strict () =
+  let rejects s =
+    match parse_json s with exception Bad_json _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "trailing comma" true (rejects "[1,2,]");
+  Alcotest.(check bool) "NaN literal" true (rejects "NaN");
+  Alcotest.(check bool) "bare infinity" true (rejects "[Infinity]");
+  Alcotest.(check bool) "leading zeros" true (rejects "01");
+  Alcotest.(check bool) "single quotes" true (rejects "{'a': 1}");
+  Alcotest.(check bool) "trailing garbage" true (rejects "{} x");
+  Alcotest.(check bool) "plain object" false (rejects "{\"a\": [1, -2.5e3, null]}")
+
+(* --- Json combinators ------------------------------------------------------ *)
+
+let test_json_combinators () =
+  Alcotest.(check string) "nan is null" "null" (Json.number nan);
+  Alcotest.(check string) "inf is null" "null" (Json.number infinity);
+  Alcotest.(check string) "integral float" "3" (Json.number 3.0);
+  Alcotest.(check string) "negative zero-ish" "-2" (Json.number (-2.0));
+  (match parse_json (Json.number 1.5e-7) with
+  | Num x -> Alcotest.(check (float 1e-20)) "tiny float round-trips" 1.5e-7 x
+  | _ -> Alcotest.fail "not a number");
+  match parse_json (Json.string "a\"b\\c\nd\ttab\x01") with
+  | Str s -> Alcotest.(check string) "escapes round-trip" "a\"b\\c\nd\ttab\x01" s
+  | _ -> Alcotest.fail "not a string"
+
+(* --- Ring ------------------------------------------------------------------ *)
+
+let test_ring () =
+  Alcotest.(check bool) "capacity 0 raises" true
+    (match Ring.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | (_ : int Ring.t) -> false);
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Ring.length r);
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (Ring.to_list r);
+  List.iter (Ring.push r) [ 4; 5 ];
+  Alcotest.(check (list int)) "oldest evicted" [ 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check int) "length capped" 3 (Ring.length r);
+  Alcotest.(check int) "pushed total" 5 (Ring.pushed r);
+  Alcotest.(check int) "dropped" 2 (Ring.dropped r)
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_basic () =
+  let m = Metrics.create () in
+  Metrics.incr m "a/count";
+  Metrics.incr m ~by:4.0 "a/count";
+  Metrics.set m "a/gauge" 2.5;
+  Metrics.set m "a/gauge" 7.0;
+  List.iter (Metrics.observe m "a/hist") [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (option (float 0.0))) "counter" (Some 5.0)
+    (Metrics.counter m "a/count");
+  Alcotest.(check (option (float 0.0))) "gauge last-write-wins" (Some 7.0)
+    (Metrics.gauge m "a/gauge");
+  (match Metrics.histogram m "a/hist" with
+  | None -> Alcotest.fail "no histogram"
+  | Some s ->
+    Alcotest.(check int) "count" 4 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "mean" 2.5 s.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min_v;
+    Alcotest.(check (float 1e-9)) "max" 4.0 s.Metrics.max_v);
+  Alcotest.(check (list string)) "names sorted"
+    [ "a/count"; "a/gauge"; "a/hist" ]
+    (Metrics.names m)
+
+let test_metrics_kind_conflict () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Alcotest.(check bool) "set on a counter raises" true
+    (match Metrics.set m "x" 1.0 with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "observe on a counter raises" true
+    (match Metrics.observe m "x" 1.0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_metrics_json_strict () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3.0 "noc/transfers";
+  Metrics.set m "weird/nan_gauge" nan;
+  Metrics.observe m "lat/s" 0.25;
+  let j = parse_json (Metrics.to_json m) in
+  Alcotest.(check (float 0.0)) "counter exported" 3.0
+    (as_num (member "noc/transfers" (member "counters" j)));
+  Alcotest.(check bool) "nan gauge exports as null" true
+    (member "weird/nan_gauge" (member "gauges" j) = Null);
+  Alcotest.(check int) "histogram count" 1
+    (int_of_float (as_num (member "count" (member "lat/s" (member "histograms" j)))))
+
+(* --- Sink ------------------------------------------------------------------- *)
+
+let track = Event.track ~process:"test" ~thread:"t0"
+
+let test_sink_rejects_bad_spans () =
+  let o = Sink.create () in
+  let raises dur =
+    match Sink.span o ~track ~name:"s" ~start_s:0.0 ~dur_s:dur with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  Alcotest.(check bool) "negative duration" true (raises (-1.0));
+  Alcotest.(check bool) "nan duration" true (raises nan);
+  Alcotest.(check bool) "infinite duration" true (raises infinity);
+  Alcotest.(check bool) "zero duration is fine" false (raises 0.0)
+
+let test_sink_capacity () =
+  let o = Sink.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Sink.instant o ~track ~name:"tick" ~ts_s:(float_of_int i)
+  done;
+  Alcotest.(check int) "recorded all" 10 (Sink.recorded o);
+  Alcotest.(check int) "dropped overflow" 6 (Sink.dropped o);
+  Alcotest.(check int) "retained tail" 4 (List.length (Sink.events o));
+  Alcotest.(check (float 0.0)) "oldest retained is #7" 7.0
+    (Event.ts_s (List.hd (Sink.events o)))
+
+(* --- Chrome-trace export ----------------------------------------------------- *)
+
+let sample_events =
+  let a = Event.track ~process:"p1" ~thread:"alpha" in
+  let b = Event.track ~process:"p2" ~thread:"beta" in
+  [
+    Event.Span
+      {
+        track = a;
+        name = "work";
+        cat = "cat1";
+        ts_s = 1.5;
+        dur_s = 0.25;
+        args = [ ("k", Event.S "v"); ("n", Event.I 3); ("x", Event.F 0.5) ];
+      };
+    Event.Instant { track = b; name = "mark"; cat = ""; ts_s = 2.0; args = [] };
+    Event.Counter { track = a; name = "depth"; ts_s = 2.5; value = 4.0 };
+  ]
+
+let test_chrome_trace_export () =
+  let j = parse_json (Chrome_trace.to_json sample_events) in
+  let evs = as_arr (member "traceEvents" j) in
+  let phase e = as_str (member "ph" e) in
+  let of_phase p = List.filter (fun e -> phase e = p) evs in
+  Alcotest.(check int) "one complete span" 1 (List.length (of_phase "X"));
+  Alcotest.(check int) "one instant" 1 (List.length (of_phase "i"));
+  Alcotest.(check int) "one counter sample" 1 (List.length (of_phase "C"));
+  Alcotest.(check int) "2 process + 2 thread metadata" 4
+    (List.length (of_phase "M"));
+  let span = List.hd (of_phase "X") in
+  Alcotest.(check (float 1e-9)) "ts in microseconds" 1.5e6
+    (as_num (member "ts" span));
+  Alcotest.(check (float 1e-9)) "dur in microseconds" 0.25e6
+    (as_num (member "dur" span));
+  Alcotest.(check string) "cat preserved" "cat1" (as_str (member "cat" span));
+  Alcotest.(check string) "string arg" "v"
+    (as_str (member "k" (member "args" span)));
+  let counter = List.hd (of_phase "C") in
+  Alcotest.(check (float 0.0)) "counter value" 4.0
+    (as_num (member "value" (member "args" counter)));
+  (* pids are assigned in first-appearance order, so p1 < p2. *)
+  let pid_of_proc name =
+    List.filter_map
+      (fun e ->
+        if phase e = "M" && as_str (member "name" e) = "process_name"
+           && as_str (member "name" (member "args" e)) = name
+        then Some (int_of_float (as_num (member "pid" e)))
+        else None)
+      evs
+    |> List.hd
+  in
+  Alcotest.(check bool) "first-appearance pid order" true
+    (pid_of_proc "p1" < pid_of_proc "p2")
+
+let test_jsonl_export () =
+  let lines =
+    String.split_on_char '\n' (String.trim (Chrome_trace.to_jsonl sample_events))
+  in
+  Alcotest.(check int) "one line per event, no metadata" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      let j = parse_json line in
+      ignore (as_str (member "process" j));
+      ignore (as_str (member "thread" j)))
+    lines
+
+(* --- Scheduler instrumentation ---------------------------------------------- *)
+
+let sched_run ?obs seed =
+  let rng = Hnlpu.Rng.create seed in
+  let reqs =
+    Hnlpu.Scheduler.workload rng ~n:40 ~rate_per_s:3000.0 ~mean_prefill:32
+      ~mean_decode:16
+  in
+  Hnlpu.Scheduler.simulate ?obs config reqs
+
+let test_no_sink_bit_identical () =
+  let plain = sched_run 11 in
+  let obs = Sink.create () in
+  let instrumented = sched_run ~obs 11 in
+  Alcotest.(check bool) "results identical with and without a sink" true
+    (plain = instrumented);
+  Alcotest.(check bool) "the sink actually recorded" true (Sink.recorded obs > 0)
+
+let test_same_seed_export_identical () =
+  let export seed =
+    let obs = Sink.create () in
+    ignore (sched_run ~obs seed);
+    (Chrome_trace.to_json (Sink.events obs), Metrics.to_json (Sink.metrics obs))
+  in
+  let t1, m1 = export 23 in
+  let t2, m2 = export 23 in
+  Alcotest.(check string) "trace JSON byte-identical" t1 t2;
+  Alcotest.(check string) "metrics JSON byte-identical" m1 m2
+
+let spans_of evs =
+  List.filter_map
+    (function
+      | Event.Span { track; name; ts_s; dur_s; _ } ->
+        Some (track, name, ts_s, dur_s)
+      | _ -> None)
+    evs
+
+let test_scheduler_spans () =
+  let obs = Sink.create () in
+  let r = sched_run ~obs 3 in
+  let spans = spans_of (Sink.events obs) in
+  let parents =
+    List.filter (fun ((_, name, _, _) : Event.track * _ * _ * _) -> name = "request") spans
+  in
+  Alcotest.(check int) "one request span per completed request"
+    (List.length r.Hnlpu.Scheduler.completed_requests)
+    (List.length parents);
+  (* TTFT histogram feeds the metrics registry. *)
+  match Metrics.histogram (Sink.metrics obs) "scheduler/ttft_s" with
+  | None -> Alcotest.fail "no TTFT histogram"
+  | Some s ->
+    Alcotest.(check int) "TTFT sample per request"
+      (List.length r.Hnlpu.Scheduler.completed_requests)
+      s.Metrics.count
+
+(* QCheck: over random workload seeds, every span is well-formed and every
+   per-request child span nests inside its track's "request" parent. *)
+let prop_spans_wellformed =
+  QCheck.Test.make ~name:"scheduler spans are well-formed and nested" ~count:10
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let obs = Sink.create () in
+      ignore (sched_run ~obs seed);
+      let spans = spans_of (Sink.events obs) in
+      List.for_all (fun (_, _, ts, dur) -> dur >= 0.0 && Float.is_finite ts) spans
+      && List.for_all
+           (fun ((tr : Event.track), name, ts, dur) ->
+             name = "request"
+             || tr.Event.process <> "scheduler"
+             || not (String.length tr.Event.thread >= 3
+                     && String.sub tr.Event.thread 0 3 = "req")
+             ||
+             match
+               List.find_opt
+                 (fun (tr', name', _, _) -> tr' = tr && name' = "request")
+                 spans
+             with
+             | None -> false
+             | Some (_, _, pts, pdur) ->
+               ts >= pts -. 1e-12 && ts +. dur <= pts +. pdur +. 1e-12)
+           spans)
+
+(* --- Pipeline-trace instrumentation ------------------------------------------ *)
+
+let test_pipeline_trace_obs () =
+  let obs = Sink.create () in
+  let t = Hnlpu.Trace.run ~tokens:40 ~obs ~obs_tokens:8 config in
+  let spans =
+    List.filter
+      (fun ((tr : Event.track), _, _, _) -> tr.Event.process = "pipeline")
+      (spans_of (Sink.events obs))
+  in
+  Alcotest.(check bool) "pipeline spans recorded" true (spans <> []);
+  (* Spans sharing a (stage, slot) track must be disjoint in time. *)
+  let by_track = Hashtbl.create 64 in
+  List.iter
+    (fun (tr, _, ts, dur) ->
+      Hashtbl.replace by_track tr
+        ((ts, dur) :: (try Hashtbl.find by_track tr with Not_found -> [])))
+    spans;
+  Hashtbl.iter
+    (fun _ intervals ->
+      let sorted = List.sort compare intervals in
+      ignore
+        (List.fold_left
+           (fun prev_end (ts, dur) ->
+             if ts < prev_end -. 1e-12 then
+               Alcotest.fail "overlapping spans on one pipeline track";
+             ts +. dur)
+           neg_infinity sorted))
+    by_track;
+  match Metrics.histogram (Sink.metrics obs) "pipeline/stage_utilization" with
+  | None -> Alcotest.fail "no stage-utilization histogram"
+  | Some s ->
+    Alcotest.(check int) "one utilization sample per stage"
+      (List.length t.Hnlpu.Trace.stage_stats)
+      s.Metrics.count
+
+(* --- NoC instrumentation ------------------------------------------------------ *)
+
+let test_noc_obs () =
+  let group = Hnlpu.Topology.col_group 0 in
+  let bytes = 4096 in
+  let plan = Hnlpu.Schedule.all_reduce ~group ~bytes in
+  let vals =
+    List.map (fun c -> (c, Array.init 6 (fun i -> float_of_int (c * 10 + i)))) group
+  in
+  let plain = Hnlpu.Schedule.run_all_reduce ~plan ~group vals in
+  let obs = Sink.create () in
+  let instrumented = Hnlpu.Schedule.run_all_reduce ~plan ~obs ~group vals in
+  Alcotest.(check bool) "values unaffected by the sink" true
+    (plain = instrumented);
+  let m = Sink.metrics obs in
+  let plan_bytes =
+    List.fold_left
+      (fun acc step ->
+        List.fold_left (fun a tr -> a + tr.Hnlpu.Schedule.bytes) acc step)
+      0 plan
+  in
+  Alcotest.(check (option (float 0.0))) "bytes tally matches the plan"
+    (Some (float_of_int plan_bytes))
+    (Metrics.counter m "noc/bytes_sent");
+  Alcotest.(check (option (float 0.0))) "transfer count"
+    (Some (float_of_int (Hnlpu.Schedule.transfer_count plan)))
+    (Metrics.counter m "noc/transfers");
+  let makespan = Hnlpu.Schedule.makespan plan in
+  (match Metrics.gauge m "noc/makespan_s" with
+  | None -> Alcotest.fail "no makespan gauge"
+  | Some g -> Alcotest.(check (float 1e-12)) "makespan gauge agrees" makespan g);
+  (* Span stream covers the same window the closed-form makespan claims. *)
+  let last_end =
+    List.fold_left
+      (fun acc e -> Float.max acc (Event.end_s e))
+      0.0 (Sink.events obs)
+  in
+  Alcotest.(check bool) "spans end by the makespan" true
+    (last_end <= makespan +. 1e-9)
+
+(* --- Thermal instrumentation --------------------------------------------------- *)
+
+let test_thermal_obs () =
+  let obs = Sink.create () in
+  let th = Hnlpu.Thermal.analyze ~obs () in
+  let m = Sink.metrics obs in
+  (match Metrics.gauge m "thermal/peak_w_per_mm2" with
+  | None -> Alcotest.fail "no peak gauge"
+  | Some g ->
+    Alcotest.(check (float 1e-12)) "peak gauge matches the result"
+      th.Hnlpu.Thermal.peak_w_per_mm2 g);
+  Alcotest.(check bool) "operating-point instant recorded" true
+    (List.exists
+       (function
+         | Event.Instant { name = "operating_point"; _ } -> true
+         | _ -> false)
+       (Sink.events obs))
+
+(* --- The combined timeline ------------------------------------------------------ *)
+
+let test_combined_timeline () =
+  let obs = Sink.create () in
+  ignore (sched_run ~obs 1);
+  ignore (Hnlpu.Trace.run ~tokens:20 ~obs ~obs_tokens:4 config);
+  let group = Hnlpu.Topology.col_group 0 in
+  ignore
+    (Hnlpu.Schedule.run_all_reduce ~obs ~group
+       (List.map (fun c -> (c, [| 1.0 |])) group));
+  let span_processes =
+    List.sort_uniq compare
+      (List.filter_map
+         (function
+           | Event.Span { track; _ } -> Some track.Event.process
+           | _ -> None)
+         (Sink.events obs))
+  in
+  Alcotest.(check bool) "spans from at least three subsystems" true
+    (List.length span_processes >= 3);
+  (* And the whole stream still exports as strict JSON. *)
+  match parse_json (Chrome_trace.to_json (Sink.events obs)) with
+  | Obj _ -> ()
+  | _ -> Alcotest.fail "trace export is not a JSON object"
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hnlpu_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "parser is strict" `Quick test_parser_is_strict;
+          Alcotest.test_case "combinators" `Quick test_json_combinators;
+        ] );
+      ("ring", [ Alcotest.test_case "bounds and order" `Quick test_ring ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "basic" `Quick test_metrics_basic;
+          Alcotest.test_case "kind conflict" `Quick test_metrics_kind_conflict;
+          Alcotest.test_case "strict json" `Quick test_metrics_json_strict;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "rejects bad spans" `Quick test_sink_rejects_bad_spans;
+          Alcotest.test_case "capacity" `Quick test_sink_capacity;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "export" `Quick test_chrome_trace_export;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_export;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "no sink is bit-identical" `Quick
+            test_no_sink_bit_identical;
+          Alcotest.test_case "same seed exports identically" `Quick
+            test_same_seed_export_identical;
+          Alcotest.test_case "request spans" `Quick test_scheduler_spans;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "trace obs" `Quick test_pipeline_trace_obs ] );
+      ("noc", [ Alcotest.test_case "all-reduce obs" `Quick test_noc_obs ]);
+      ("thermal", [ Alcotest.test_case "gauges" `Quick test_thermal_obs ]);
+      ( "end-to-end",
+        [ Alcotest.test_case "combined timeline" `Quick test_combined_timeline ]
+      );
+      qsuite "properties" [ prop_spans_wellformed ];
+    ]

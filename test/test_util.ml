@@ -80,6 +80,27 @@ let test_stats_histogram () =
   Alcotest.(check int) "bins" 2 (Array.length h);
   Alcotest.(check int) "total count" 5 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
 
+let test_stats_empty () =
+  Alcotest.(check bool) "percentile of empty is nan" true
+    (Float.is_nan (Stats.percentile [||] 0.5));
+  Alcotest.(check int) "histogram of empty is empty" 0
+    (Array.length (Stats.histogram [||] ~bins:4))
+
+let test_stats_percentile_domain () =
+  let raises p =
+    match Stats.percentile [| 1.0 |] p with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "p < 0 raises" true (raises (-0.1));
+  Alcotest.(check bool) "p > 1 raises" true (raises 1.5);
+  Alcotest.(check bool) "nan p raises" true (raises nan);
+  (* The domain check fires even when there are no samples. *)
+  Alcotest.(check bool) "empty + bad p still raises" true
+    (match Stats.percentile [||] 2.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* --- Units ----------------------------------------------------------- *)
 
 let test_units_si () =
@@ -151,6 +172,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "percentile domain" `Quick test_stats_percentile_domain;
         ] );
       ( "units",
         [
