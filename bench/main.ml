@@ -358,9 +358,100 @@ let serving_report ?(path = "BENCH_serving.json") () =
     (Hnlpu.Stats.percentile ttft 0.99 *. 1e3)
     (r.Hnlpu.Scheduler.mean_slot_occupancy *. 100.0)
 
+(* --- Parallel-speedup benchmark (BENCH_par.json) -------------------------- *)
+
+(* Wall-clock of each parallelized sweep at j=1 vs the resolved pool width,
+   plus a structural-equality check between the two results (the Par
+   determinism guarantee, measured rather than assumed).  Speedup tracks
+   the machine's core count: on a single-core runner both timings coincide
+   and speedup ~1.0; CI runs this with HNLPU_DOMAINS=4 on 4-vCPU hosts. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let par_sweeps : (string * int * (int -> string)) list =
+  let marshal v = Marshal.to_string v [] in
+  let rates = List.init 10 (fun i -> 2_000.0 +. (2_000.0 *. float_of_int i)) in
+  [
+    ( "slo/rate-sweep",
+      List.length rates,
+      fun domains ->
+        marshal
+          (Hnlpu.Slo.sweep ~domains config Hnlpu.Slo.interactive ~rates) );
+    ( "ablation/slack-mc",
+      6,
+      fun domains ->
+        marshal
+          (Hnlpu.Ablation.slack_sweep (Hnlpu.Rng.create 42) ~domains
+             ~trials:400 ()) );
+    ( "model/quant-eval",
+      8,
+      fun domains ->
+        marshal
+          (Hnlpu.Quant_eval.evaluate ~domains (Hnlpu.Rng.create 7)
+             Hnlpu.Config.tiny_hnlpu) );
+    ( "baseline/gpu-scaling",
+      6,
+      fun domains -> marshal (Hnlpu.Scaling.sweep ~domains ()) );
+    ( "tco/tornado",
+      7,
+      fun domains -> marshal (Hnlpu.Sensitivity.tornado ~domains ()) );
+    ( "experiments/tables",
+      9,
+      fun domains -> marshal (Hnlpu.Experiments.all ~domains ()) );
+  ]
+
+let par_report ?(path = "BENCH_par.json") () =
+  let domains = Hnlpu.Par.default_domains () in
+  let module J = Hnlpu.Obs.Json in
+  let rows =
+    List.map
+      (fun (name, points, run) ->
+        let serial, serial_s = wall (fun () -> run 1) in
+        let parallel, parallel_s = wall (fun () -> run domains) in
+        let speedup = if parallel_s > 0.0 then serial_s /. parallel_s else 1.0 in
+        Printf.printf
+          "  %-22s %2d points: serial %.3f s, j=%d %.3f s, speedup %.2fx%s\n"
+          name points serial_s domains parallel_s speedup
+          (if String.equal serial parallel then "" else "  [MISMATCH]");
+        J.obj
+          [
+            ("name", J.string name);
+            ("points", J.int points);
+            ("serial_s", J.number serial_s);
+            ("parallel_s", J.number parallel_s);
+            ("speedup", J.number speedup);
+            ("identical", J.bool (String.equal serial parallel));
+          ])
+      par_sweeps
+  in
+  let json =
+    J.obj
+      [
+        ("benchmark", J.string "domain-parallel-sweeps");
+        ("config", J.string config.Hnlpu.Config.name);
+        ("domains", J.int domains);
+        ("sweeps", J.arr rows);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "Parallel benchmark -> %s (pool width %d)\n" path domains
+
 let () =
   if Array.exists (( = ) "--serving-only") Sys.argv then begin
     serving_report ();
+    exit 0
+  end;
+  if Array.exists (( = ) "--par") Sys.argv then begin
+    print_endline "Parallel-sweep benchmark (serial vs domain pool)";
+    par_report ();
     exit 0
   end;
   print_endline "HNLPU reproduction — paper tables and figures";

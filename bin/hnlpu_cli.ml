@@ -20,6 +20,21 @@ let write_file path content =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc content)
 
+(* Shared by every subcommand that runs parallel sweeps: -j N forces the
+   Par pool width for the whole invocation.  Results are identical for
+   every width, so this is purely a speed knob. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain-pool width for parallel sweeps (default: $(b,HNLPU_DOMAINS) \
+           or the machine's recommended domain count).  Results are \
+           byte-identical for every width.")
+
+let set_jobs = function None -> () | Some j -> Par.set_default_domains j
+
 (* --- tables ----------------------------------------------------------- *)
 
 let tables_cmd =
@@ -31,7 +46,8 @@ let tables_cmd =
             "Which artifact to print: figure2, figure12, figure13, figure14, \
              table1..table5. Prints everything when omitted.")
   in
-  let run which =
+  let run jobs which =
+    set_jobs jobs;
     match which with
     | None -> print_string (Experiments.render_all ())
     | Some name ->
@@ -56,7 +72,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ which)
+    Term.(const run $ jobs_arg $ which)
 
 (* --- perf ------------------------------------------------------------- *)
 
@@ -367,7 +383,8 @@ let ablate_cmd =
       & info [] ~docv:"STUDY"
           ~doc:"interconnect | programmability | precision | slack | chunk | window | all")
   in
-  let run which =
+  let run jobs which =
+    set_jobs jobs;
     let interconnect () =
       let t =
         Table.create
@@ -488,7 +505,7 @@ let ablate_cmd =
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablation studies for the §8 design choices")
-    Term.(const run $ which)
+    Term.(const run $ jobs_arg $ which)
 
 (* --- deploy ------------------------------------------------------------------- *)
 
@@ -630,7 +647,8 @@ let export_cmd =
     Arg.(value & opt string "results" & info [ "dir"; "o" ] ~doc:"Output directory.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of CSV.") in
-  let run dir json =
+  let run jobs dir json =
+    set_jobs jobs;
     let paths =
       if json then Experiments.export_json ~dir else Experiments.export_csv ~dir
     in
@@ -639,7 +657,7 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Write every table/figure as CSV or JSON")
-    Term.(const run $ dir $ json)
+    Term.(const run $ jobs_arg $ dir $ json)
 
 (* --- slo ----------------------------------------------------------------------- *)
 
@@ -652,24 +670,58 @@ let slo_cmd =
   in
   let prefill = Arg.(value & opt int 256 & info [ "prefill" ] ~doc:"Mean prompt tokens.") in
   let decode = Arg.(value & opt int 128 & info [ "decode" ] ~doc:"Mean decode tokens.") in
-  let run ttft e2e prefill decode =
+  let rates =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "rates" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Evaluate these offered rates (requests/s) across the domain \
+             pool and print the sweep table instead of bisecting.")
+  in
+  let run jobs ttft e2e prefill decode rates =
+    set_jobs jobs;
     let obj = { Slo.ttft_p95_s = ttft; e2e_p95_s = e2e } in
-    let rate = Slo.max_rate ~mean_prefill:prefill ~mean_decode:decode config obj in
-    Printf.printf
-      "Max sustainable rate under TTFT p95 <= %gs, E2E p95 <= %gs (~%d+%d tokens): \
-       %.0f requests/s\n"
-      ttft e2e prefill decode rate;
-    let e =
-      Slo.evaluate ~mean_prefill:prefill ~mean_decode:decode config obj ~rate_per_s:rate
-    in
-    Printf.printf "At that rate: %s tokens/s, TTFT p95 %s, E2E p95 %s, occupancy %s\n"
-      (Units.group_thousands (int_of_float e.Slo.throughput_tokens_per_s))
-      (Units.seconds e.Slo.ttft_p95) (Units.seconds e.Slo.e2e_p95)
-      (Units.percent e.Slo.occupancy)
+    match rates with
+    | Some rs ->
+      let t =
+        Table.create
+          ~headers:
+            [ "Rate (req/s)"; "Tokens/s"; "TTFT p95"; "E2E p95"; "Occupancy"; "Meets" ]
+      in
+      List.iter
+        (fun e ->
+          Table.add_row t
+            [
+              Printf.sprintf "%.0f" e.Slo.rate_per_s;
+              Units.group_thousands (int_of_float e.Slo.throughput_tokens_per_s);
+              Units.seconds e.Slo.ttft_p95;
+              Units.seconds e.Slo.e2e_p95;
+              Units.percent e.Slo.occupancy;
+              (if e.Slo.meets then "yes" else "NO");
+            ])
+        (Slo.sweep ~mean_prefill:prefill ~mean_decode:decode config obj ~rates:rs);
+      Table.print
+        ~title:
+          (Printf.sprintf "SLO sweep (TTFT p95 <= %gs, E2E p95 <= %gs)" ttft e2e)
+        t
+    | None ->
+      let rate = Slo.max_rate ~mean_prefill:prefill ~mean_decode:decode config obj in
+      Printf.printf
+        "Max sustainable rate under TTFT p95 <= %gs, E2E p95 <= %gs (~%d+%d tokens): \
+         %.0f requests/s\n"
+        ttft e2e prefill decode rate;
+      let e =
+        Slo.evaluate ~mean_prefill:prefill ~mean_decode:decode config obj ~rate_per_s:rate
+      in
+      Printf.printf "At that rate: %s tokens/s, TTFT p95 %s, E2E p95 %s, occupancy %s\n"
+        (Units.group_thousands (int_of_float e.Slo.throughput_tokens_per_s))
+        (Units.seconds e.Slo.ttft_p95) (Units.seconds e.Slo.e2e_p95)
+        (Units.percent e.Slo.occupancy)
   in
   Cmd.v
-    (Cmd.info "slo" ~doc:"Capacity under latency objectives (bisection)")
-    Term.(const run $ ttft $ e2e $ prefill $ decode)
+    (Cmd.info "slo" ~doc:"Capacity under latency objectives (bisection or rate sweep)")
+    Term.(const run $ jobs_arg $ ttft $ e2e $ prefill $ decode $ rates)
 
 (* --- fleet --------------------------------------------------------------------- *)
 

@@ -31,8 +31,8 @@ let point_of_batch batch =
     power_ratio = gpus *. H100.spec.H100.system_power_w /. hnlpu_power_w ();
   }
 
-let sweep ?(batches = [ 1; 8; 32; 50; 128; 256 ]) () =
-  List.map point_of_batch batches
+let sweep ?(batches = [ 1; 8; 32; 50; 128; 256 ]) ?domains () =
+  Hnlpu_par.Par.parallel_map ?domains point_of_batch batches
 
 let paper_equivalence =
   (* The Appendix B note 1 regime, using the measured 1.08K tok/s rather

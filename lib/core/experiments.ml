@@ -144,18 +144,22 @@ let table4 () =
 
 let table5 () = Hnlpu_tco.Cost_breakdown.to_table ()
 
-let all () =
-  [
-    ("Figure 2: economics of hardwiring", figure2 ());
-    ("Figure 12: area comparison", figure12 ());
-    ("Figure 13: time and energy comparison", figure13 ());
-    ("Table 1: single-chip characteristics", table1 ());
-    ("Table 2: system-level comparison", table2 ());
-    ("Figure 14: execution-time breakdown", figure14 ());
-    ("Table 3: 3-year TCO and carbon", table3 ());
-    ("Table 4: NRE on various models", table4 ());
-    ("Table 5: HNLPU cost analysis", table5 ());
-  ]
+let all ?domains () =
+  (* Each artifact is an independent pure thunk; building them across the
+     domain pool keeps paper order because collection is by index. *)
+  Hnlpu_par.Par.parallel_map ?domains
+    (fun (name, thunk) -> (name, thunk ()))
+    [
+      ("Figure 2: economics of hardwiring", figure2);
+      ("Figure 12: area comparison", fun () -> figure12 ());
+      ("Figure 13: time and energy comparison", fun () -> figure13 ());
+      ("Table 1: single-chip characteristics", table1);
+      ("Table 2: system-level comparison", table2);
+      ("Figure 14: execution-time breakdown", figure14);
+      ("Table 3: 3-year TCO and carbon", table3);
+      ("Table 4: NRE on various models", table4);
+      ("Table 5: HNLPU cost analysis", table5);
+    ]
 
 let figure12_chart ?seed () =
   let open Hnlpu_neuron in

@@ -34,8 +34,10 @@ val table4 : unit -> Hnlpu_util.Table.t
 val table5 : unit -> Hnlpu_util.Table.t
 (** HNLPU cost analysis. *)
 
-val all : unit -> (string * Hnlpu_util.Table.t) list
-(** Every experiment, in paper order, with its identifier. *)
+val all : ?domains:int -> unit -> (string * Hnlpu_util.Table.t) list
+(** Every experiment, in paper order, with its identifier.  Artifacts
+    build across the {!Hnlpu_par.Par} pool ([domains] overrides its
+    width); the list is identical for every width. *)
 
 val render_all : unit -> string
 (** All tables as one report (what [bench/main.exe] prints before the

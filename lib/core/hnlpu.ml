@@ -15,6 +15,10 @@ module Approx = Hnlpu_util.Approx
 module Heap = Hnlpu_util.Heap
 module Chart = Hnlpu_util.Chart
 
+(** {1 Deterministic domain-parallel execution} *)
+
+module Par = Hnlpu_par.Par
+
 (** {1 Arithmetic substrate (FP4, bit-serial, CSA)} *)
 
 module Fp4 = Hnlpu_fp4.Fp4

@@ -21,9 +21,16 @@ type report = {
 }
 
 val evaluate :
-  ?sequences:int -> ?length:int -> Hnlpu_util.Rng.t -> Config.t -> report
+  ?sequences:int -> ?length:int -> ?domains:int ->
+  Hnlpu_util.Rng.t -> Config.t -> report
 (** Build a float checkpoint, quantize its twin, score [sequences]
     (default 8) random sequences of [length] (default 12) tokens through
-    both.  The config must be architecturally specified. *)
+    both.  The config must be architecturally specified.
+
+    Token sequences are drawn from [rng] sequentially (the same draws as
+    a sequential evaluation); scoring then fans out per sequence across
+    the {!Hnlpu_par.Par} pool ([domains] overrides its width) with
+    partial sums reduced in sequence order, so the report is identical
+    for every domain count. *)
 
 val pp : Format.formatter -> report -> unit

@@ -99,6 +99,22 @@ let histogram t name = Option.map summarize (samples t name)
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] |> List.sort compare
 
+let merge_into ~into src =
+  (* Sorted name order so merging many registries is deterministic; a kind
+     clash between the two registries raises through [lookup], same as a
+     clash inside one registry. *)
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.series name with
+      | None -> ()
+      | Some (Counter r) -> incr into ~by:!r name
+      | Some (Gauge r) -> set into name !r
+      | Some (Hist h) ->
+        for i = 0 to h.n - 1 do
+          observe into name h.buf.(i)
+        done)
+    (names src)
+
 let is_empty t = Hashtbl.length t.series = 0
 
 let to_json t =

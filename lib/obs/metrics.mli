@@ -45,6 +45,14 @@ val samples : t -> string -> float array option
 val names : t -> string list
 (** All registered names, sorted (exports are deterministic). *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src] into [into]: counters add, gauges
+    take [src]'s value (last-writer-wins, so merge in a fixed order),
+    histogram samples append in observation order.  Names are visited
+    sorted, so merging a list of registries in index order is
+    deterministic.  Raises [Invalid_argument] if a name is bound to
+    different kinds in the two registries. *)
+
 val is_empty : t -> bool
 
 val to_json : t -> string

@@ -18,6 +18,10 @@ let sample t ~track ~name ~ts_s value =
   Ring.push t.ring (Event.Counter { track; name; ts_s; value });
   Metrics.set t.metrics name value
 
+let merge_into ~into src =
+  Ring.iter (Ring.push into.ring) src.ring;
+  Metrics.merge_into ~into:into.metrics src.metrics
+
 let events t = Ring.to_list t.ring
 
 let recorded t = Ring.pushed t.ring

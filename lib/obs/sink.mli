@@ -29,6 +29,13 @@ val sample : t -> track:Event.track -> name:string -> ts_s:float -> float -> uni
 (** One counter-series sample on the timeline; also mirrors the latest
     value into {!metrics} as a gauge under the same name. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] appends [src]'s retained events (oldest first)
+    to [into]'s ring and folds its metrics in via
+    {!Metrics.merge_into}.  Parallel sweeps give each task a private sink
+    and merge them in task-index order afterwards, so the combined
+    timeline and registry are identical whatever the domain count. *)
+
 val events : t -> Event.t list
 (** Retained events, oldest first. *)
 

@@ -1,0 +1,206 @@
+(* Deterministic domain-parallel execution over stdlib Domain (OCaml 5).
+
+   Design constraints, in priority order:
+
+   1. {b Determinism}: results are byte-identical regardless of the domain
+      count.  Every task writes only its own index slot, reduction happens
+      in index order on the calling domain, and seeded tasks derive their
+      Rng from their index ({!Hnlpu_util.Rng.derive}), never from a shared
+      stream.  [j = 1] takes the exact sequential code path (no pool, no
+      atomics), so the parallel layer cannot perturb the sequential
+      semantics it claims to reproduce.
+
+   2. {b No oversubscription}: one long-lived pool of [j - 1] worker
+      domains (the caller is the j-th participant), reused across calls
+      and resized only when the requested width changes.
+
+   3. {b Nesting safety}: a task that itself calls into this module runs
+      its inner region sequentially (detected via a domain-local flag), so
+      pools never wait on themselves. *)
+
+type job = Run of (unit -> unit) | Quit
+
+type pool = {
+  workers : unit Domain.t array;
+  inbox : job Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable live : bool;
+}
+
+(* Set on worker domains: inner parallel regions degrade to sequential. *)
+let on_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.inbox do
+    Condition.wait pool.nonempty pool.m
+  done;
+  let job = Queue.pop pool.inbox in
+  Mutex.unlock pool.m;
+  match job with
+  | Quit -> ()
+  | Run f ->
+    (* Task closures trap their own exceptions (see [run_tasks]); this
+       catch only keeps a worker alive against instrumentation bugs. *)
+    (try f () with _ -> ());
+    worker_loop pool
+
+let create ?(domains = 0) () =
+  if domains < 1 then invalid_arg "Par.create: domains must be >= 1";
+  (* Two-phase start: build the record first, then spawn workers that
+     capture it. *)
+  let pool =
+    {
+      workers = [||];
+      inbox = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      live = true;
+    }
+  in
+  let workers =
+    Array.init (domains - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set on_worker true;
+            worker_loop pool))
+  in
+  { pool with workers }
+
+let size pool = Array.length pool.workers + 1
+
+let submit pool ~copies job =
+  Mutex.lock pool.m;
+  for _ = 1 to copies do
+    Queue.push job pool.inbox
+  done;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.m
+
+let shutdown pool =
+  if pool.live then begin
+    pool.live <- false;
+    submit pool ~copies:(Array.length pool.workers) Quit;
+    Array.iter Domain.join pool.workers
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* [f] must not raise (callers wrap task bodies into [result]s). *)
+let run_tasks pool ~tasks f =
+  if tasks > 0 then begin
+    if Array.length pool.workers = 0 || tasks = 1 || Domain.DLS.get on_worker
+    then
+      for i = 0 to tasks - 1 do
+        f i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let done_m = Mutex.create () and all_done = Condition.create () in
+      (* Chunked distribution: coarse enough to amortize the atomic per
+         chunk, fine enough (4 chunks per participant) to balance skewed
+         task costs — sweep points are rarely uniform. *)
+      let chunk = max 1 (tasks / ((Array.length pool.workers + 1) * 4)) in
+      let drain () =
+        let rec go () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < tasks then begin
+            let stop = min tasks (start + chunk) in
+            for i = start to stop - 1 do
+              f i;
+              if Atomic.fetch_and_add completed 1 = tasks - 1 then begin
+                Mutex.lock done_m;
+                Condition.signal all_done;
+                Mutex.unlock done_m
+              end
+            done;
+            go ()
+          end
+        in
+        go ()
+      in
+      submit pool ~copies:(Array.length pool.workers) (Run drain);
+      drain ();
+      Mutex.lock done_m;
+      while Atomic.get completed < tasks do
+        Condition.wait all_done done_m
+      done;
+      Mutex.unlock done_m
+    end
+  end
+
+(* --- Default width and the shared pool --------------------------------- *)
+
+let forced = ref None
+
+let env_domains () =
+  match Sys.getenv_opt "HNLPU_DOMAINS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let set_default_domains j =
+  if j < 1 then invalid_arg "Par.set_default_domains: j must be >= 1";
+  forced := Some j
+
+let default_domains () =
+  match !forced with
+  | Some j -> j
+  | None ->
+    (match env_domains () with
+    | Some j -> j
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let shared : (int * pool) option ref = ref None
+
+let shared_pool j =
+  match !shared with
+  | Some (width, pool) when width = j && pool.live -> pool
+  | previous ->
+    (match previous with Some (_, pool) -> shutdown pool | None -> ());
+    let pool = create ~domains:j () in
+    shared := Some (j, pool);
+    pool
+
+(* --- Order-preserving combinators --------------------------------------- *)
+
+let collect results =
+  (* Index-order reduction; the first task failure (by index, not by
+     completion time) is the one re-raised. *)
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    results
+
+let parallel_init ?domains n f =
+  if n < 0 then invalid_arg "Par.parallel_init: negative length";
+  let j = match domains with Some j -> j | None -> default_domains () in
+  if j < 1 then invalid_arg "Par.parallel_init: domains must be >= 1";
+  if j = 1 || n <= 1 || Domain.DLS.get on_worker then Array.init n f
+  else begin
+    let results = Array.make n None in
+    run_tasks (shared_pool j) ~tasks:n (fun i ->
+        results.(i) <- Some (try Ok (f i) with e -> Error e));
+    collect results
+  end
+
+let parallel_map ?domains f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    let items = Array.of_list xs in
+    Array.to_list (parallel_init ?domains (Array.length items) (fun i -> f items.(i)))
+
+let parallel_sweep ?domains ~seed f xs =
+  let items = Array.of_list xs in
+  Array.to_list
+    (parallel_init ?domains (Array.length items) (fun i ->
+         f (Hnlpu_util.Rng.derive seed ~stream:i) items.(i)))

@@ -1,5 +1,6 @@
 open Hnlpu_model
 open Hnlpu_noc
+module Par = Hnlpu_par.Par
 
 type interconnect_row = {
   link_name : string;
@@ -32,8 +33,8 @@ let throughput_with_link ?(tech = Hnlpu_gates.Tech.n5) ~link ~context (c : Confi
   let total = comm +. rest in
   (float_of_int (Perf.pipeline_slots c) /. total, comm /. total)
 
-let interconnect_sweep ?tech ?(context = 2048) c =
-  List.map
+let interconnect_sweep ?tech ?(context = 2048) ?domains c =
+  Par.parallel_map ?domains
     (fun (link_name, link) ->
       let throughput, comm_fraction = throughput_with_link ?tech ~link ~context c in
       {
@@ -114,9 +115,9 @@ type precision_row = {
   throughput_tokens_per_s : float;
 }
 
-let precision_sweep ?(tech = Hnlpu_gates.Tech.n5) (c : Config.t) =
+let precision_sweep ?(tech = Hnlpu_gates.Tech.n5) ?domains (c : Config.t) =
   let cycle = Hnlpu_gates.Tech.cycle_time_s tech in
-  List.map
+  Par.parallel_map ?domains
     (fun bits ->
       let bytes_per_elem = float_of_int bits /. 8.0 in
       let stream n =
@@ -146,11 +147,19 @@ let precision_sweep ?(tech = Hnlpu_gates.Tech.n5) (c : Config.t) =
 
 type slack_row = { slack : float; failure_rate : float; area_ratio : float }
 
-let slack_sweep rng ?(in_features = 2880) ?(trials = 200) () =
+let slack_sweep rng ?domains ?(in_features = 2880) ?(trials = 200) () =
   let regions = 16 in
   let balanced = (in_features + regions - 1) / regions in
-  List.map
-    (fun slack ->
+  (* Split one generator per slack point sequentially up front, then run
+     the Monte-Carlo trials in parallel: each point owns its stream, so
+     the result is independent of the domain count. *)
+  let points =
+    List.map
+      (fun slack -> (slack, Hnlpu_util.Rng.split rng))
+      [ 1.0; 1.05; 1.1; 1.2; 1.5; 2.0 ]
+  in
+  Par.parallel_map ?domains
+    (fun (slack, rng) ->
       let capacity = int_of_float (ceil (float_of_int balanced *. slack)) in
       let failures = ref 0 in
       for _ = 1 to trials do
@@ -166,7 +175,7 @@ let slack_sweep rng ?(in_features = 2880) ?(trials = 200) () =
         failure_rate = float_of_int !failures /. float_of_int trials;
         area_ratio = float_of_int capacity /. float_of_int balanced;
       })
-    [ 1.0; 1.05; 1.1; 1.2; 1.5; 2.0 ]
+    points
 
 type window_row = {
   window_context : int;
@@ -175,9 +184,9 @@ type window_row = {
   speedup : float;
 }
 
-let sliding_window_sweep ?tech () =
+let sliding_window_sweep ?tech ?domains () =
   let full = Config.gpt_oss_120b and sw = Config.gpt_oss_120b_sw in
-  List.map
+  Par.parallel_map ?domains
     (fun context ->
       let tf = Perf.throughput_tokens_per_s ?tech full ~context in
       let tw = Perf.throughput_tokens_per_s ?tech sw ~context in
@@ -192,11 +201,12 @@ type speculative_row = {
   spec_speedup : float;      (** Over plain decode. *)
 }
 
-let speculative_sweep ?tech ?(context = 2048) ?(acceptance = 0.7) (c : Config.t) =
+let speculative_sweep ?tech ?(context = 2048) ?(acceptance = 0.7) ?domains
+    (c : Config.t) =
   if acceptance < 0.0 || acceptance >= 1.0 then
     invalid_arg "Ablation.speculative_sweep: acceptance in [0,1)";
   let base = Perf.throughput_tokens_per_s ?tech c ~context in
-  List.map
+  Par.parallel_map ?domains
     (fun k ->
       (* Greedy speculative: accepted prefix length has expectation
          sum_{i<=k} a^i; each pass also yields the corrected/bonus token.
@@ -216,8 +226,8 @@ let speculative_sweep ?tech ?(context = 2048) ?(acceptance = 0.7) (c : Config.t)
       })
     [ 1; 2; 4; 8 ]
 
-let chunk_sweep ?tech ?(context = 2048) c =
-  List.map
+let chunk_sweep ?tech ?(context = 2048) ?domains c =
+  Par.parallel_map ?domains
     (fun chunk ->
       (chunk, Perf.prefill_throughput_tokens_per_s ?tech c ~chunk ~context))
     [ 1; 2; 4; 8; 16; 32; 64 ]

@@ -29,7 +29,11 @@ val interconnect_options : (string * Hnlpu_noc.Link.t) list
 (** PCIe5-class, CXL 3.0 (the design point), NVLink-class, wafer-scale. *)
 
 val interconnect_sweep :
-  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> Hnlpu_model.Config.t -> interconnect_row list
+  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?domains:int ->
+  Hnlpu_model.Config.t -> interconnect_row list
+(** All sweeps in this module map their design points across the
+    {!Hnlpu_par.Par} pool; [?domains] overrides the pool width and results
+    are identical for every width. *)
 
 type programmability_row = {
   variant : string;
@@ -53,7 +57,8 @@ type precision_row = {
   throughput_tokens_per_s : float;
 }
 
-val precision_sweep : ?tech:Hnlpu_gates.Tech.t -> Hnlpu_model.Config.t -> precision_row list
+val precision_sweep :
+  ?tech:Hnlpu_gates.Tech.t -> ?domains:int -> Hnlpu_model.Config.t -> precision_row list
 (** Activation width 4 / 8 / 16 bits (the design streams FP16). *)
 
 type slack_row = {
@@ -63,9 +68,12 @@ type slack_row = {
 }
 
 val slack_sweep :
-  Hnlpu_util.Rng.t -> ?in_features:int -> ?trials:int -> unit -> slack_row list
+  Hnlpu_util.Rng.t -> ?domains:int -> ?in_features:int -> ?trials:int ->
+  unit -> slack_row list
 (** Routing-failure probability vs region slack on random FP4 rows of the
-    model's hidden width. *)
+    model's hidden width.  One generator is split off [rng] per slack
+    point before the (parallel) Monte-Carlo trials, so the result depends
+    only on [rng]'s state, not on the domain count. *)
 
 type window_row = {
   window_context : int;
@@ -74,7 +82,8 @@ type window_row = {
   speedup : float;
 }
 
-val sliding_window_sweep : ?tech:Hnlpu_gates.Tech.t -> unit -> window_row list
+val sliding_window_sweep :
+  ?tech:Hnlpu_gates.Tech.t -> ?domains:int -> unit -> window_row list
 (** Full attention vs the real gpt-oss's alternating 128-token sliding
     window across the Figure 14 contexts: windowing halves the attention
     term on even layers, so the speedup grows with context (and defers the
@@ -88,7 +97,7 @@ type speculative_row = {
 }
 
 val speculative_sweep :
-  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?acceptance:float ->
+  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?acceptance:float -> ?domains:int ->
   Hnlpu_model.Config.t -> speculative_row list
 (** Speculative decoding on HNLPU: a draft's k-token proposal verifies as
     one chunked-prefill pass (the §5.2 batching lever), so at acceptance
@@ -96,5 +105,6 @@ val speculative_sweep :
     decode throughput for lookaheads 1/2/4/8 (default acceptance 0.7). *)
 
 val chunk_sweep :
-  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> Hnlpu_model.Config.t -> (int * float) list
+  ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?domains:int ->
+  Hnlpu_model.Config.t -> (int * float) list
 (** Prefill chunk size -> tokens/s (the batching lever of §5.2). *)

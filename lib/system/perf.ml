@@ -116,6 +116,31 @@ let token_breakdown ?(tech = Hnlpu_gates.Tech.n5) (c : Config.t) ~context =
 
 let token_latency_s ?tech c ~context = total_s (token_breakdown ?tech c ~context)
 
+(* Memoized variant for the hot consumers (SLO bisection probes the same
+   operating point dozens of times; parallel sweeps hit it from several
+   domains at once, hence the mutex).  Keys are plain records — structural
+   equality is exact.  The table is bounded defensively; real runs touch a
+   handful of operating points. *)
+let latency_cache : (Hnlpu_gates.Tech.t option * Config.t * int, float) Hashtbl.t =
+  Hashtbl.create 64
+
+let latency_cache_mutex = Mutex.create ()
+
+let token_latency_cached ?tech c ~context =
+  let key = (tech, c, context) in
+  Mutex.lock latency_cache_mutex;
+  let hit = Hashtbl.find_opt latency_cache key in
+  Mutex.unlock latency_cache_mutex;
+  match hit with
+  | Some l -> l
+  | None ->
+    let l = token_latency_s ?tech c ~context in
+    Mutex.lock latency_cache_mutex;
+    if Hashtbl.length latency_cache > 4096 then Hashtbl.reset latency_cache;
+    if not (Hashtbl.mem latency_cache key) then Hashtbl.add latency_cache key l;
+    Mutex.unlock latency_cache_mutex;
+    l
+
 let pipeline_slots = Control_unit.pipeline_slots
 
 let throughput_tokens_per_s ?tech c ~context =

@@ -65,6 +65,12 @@ val token_breakdown : ?tech:Hnlpu_gates.Tech.t -> Hnlpu_model.Config.t -> contex
 
 val token_latency_s : ?tech:Hnlpu_gates.Tech.t -> Hnlpu_model.Config.t -> context:int -> float
 
+val token_latency_cached : ?tech:Hnlpu_gates.Tech.t -> Hnlpu_model.Config.t -> context:int -> float
+(** Same value as {!token_latency_s}, memoized on [(tech, config,
+    context)] behind a mutex — the hot consumers (SLO bisection, the
+    scheduler's context-aware latency buckets, parallel sweeps) probe the
+    same operating points repeatedly. *)
+
 val pipeline_slots : Hnlpu_model.Config.t -> int
 (** 216 for gpt-oss 120B. *)
 

@@ -49,9 +49,37 @@ let saturated_throughput ?tech ?(context = 2048) config =
 
 let obs_track = Hnlpu_obs.Event.track ~process:"scheduler"
 
+let capacity_profile ~slots failures =
+  (* Presorted prefix sums: O(log failures) per query instead of folding
+     the whole failure list on every event. *)
+  let a = Array.of_list failures in
+  Array.sort (fun (t1, _) (t2, _) -> Float.compare t1 t2) a;
+  let n = Array.length a in
+  let times = Array.map fst a in
+  let lost = Array.make (max 1 n) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i (_, k) ->
+      acc := !acc + k;
+      lost.(i) <- !acc)
+    a;
+  fun now ->
+    if n = 0 || now < times.(0) then slots
+    else begin
+      (* Rightmost failure with time <= now; ties share the same time, and
+         the rightmost one carries the cumulative loss of the whole tie
+         group, matching the fold over the unsorted list. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if times.(mid) <= now then lo := mid else hi := mid - 1
+      done;
+      max 0 (slots - lost.(!lo))
+    end
+
 let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = [])
     ?obs config requests =
-  let latency = Perf.token_latency_s ?tech config ~context in
+  let latency = Perf.token_latency_cached ?tech config ~context in
   (* Context-aware latency, bucketed at powers of two and memoized. *)
   let bucket_cache = Hashtbl.create 16 in
   let latency_at position =
@@ -62,7 +90,7 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
       match Hashtbl.find_opt bucket_cache b with
       | Some l -> l
       | None ->
-        let l = Perf.token_latency_s ?tech config ~context:b in
+        let l = Perf.token_latency_cached ?tech config ~context:b in
         Hashtbl.add bucket_cache b l;
         l
     end
@@ -72,14 +100,7 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
     (fun (t, n) ->
       if t < 0.0 || n < 0 then invalid_arg "Scheduler.simulate: bad failure")
     slot_failures;
-  let capacity_at now =
-    let lost =
-      List.fold_left
-        (fun acc (t, n) -> if t <= now then acc + n else acc)
-        0 slot_failures
-    in
-    max 0 (slots - lost)
-  in
+  let capacity_at = capacity_profile ~slots slot_failures in
   let ii = latency /. float_of_int slots in
   let events : event Heap.t = Heap.create () in
   List.iteri

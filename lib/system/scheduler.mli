@@ -44,6 +44,14 @@ val workload :
   mean_decode:int -> request list
 (** Poisson arrivals with geometric-ish token counts (at least 1 each). *)
 
+val capacity_profile : slots:int -> (float * int) list -> float -> int
+(** [capacity_profile ~slots failures] preprocesses a slot-failure list
+    (unsorted [(time, lost)] pairs) into a query function: applied to a
+    time [now] it returns the surviving capacity, [max 0 (slots - total
+    slots lost at or before now)].  Sorting plus prefix sums happen once;
+    each query is a binary search — the scheduler calls it on every event,
+    where the naive fold over the failure list was the hot path. *)
+
 val simulate :
   ?tech:Hnlpu_gates.Tech.t -> ?context:int -> ?context_aware:bool ->
   ?slot_failures:(float * int) list -> ?obs:Hnlpu_obs.Sink.t ->

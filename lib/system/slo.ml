@@ -14,24 +14,22 @@ type evaluation = {
 }
 
 let evaluate ?(seed = 1234) ?(requests = 150) ?(mean_prefill = 256)
-    ?(mean_decode = 128) config obj ~rate_per_s =
+    ?(mean_decode = 128) ?obs config obj ~rate_per_s =
   if rate_per_s <= 0.0 then invalid_arg "Slo.evaluate: rate must be positive";
   let rng = Rng.create seed in
   let reqs =
     Scheduler.workload rng ~n:requests ~rate_per_s ~mean_prefill ~mean_decode
   in
-  let r = Scheduler.simulate config reqs in
-  let of_completed f =
-    Array.of_list (List.map f r.Scheduler.completed_requests)
-  in
-  let ttft =
-    of_completed (fun c ->
-        c.Scheduler.first_token_s -. c.Scheduler.request.Scheduler.arrival_s)
-  in
-  let e2e =
-    of_completed (fun c ->
-        c.Scheduler.finish_s -. c.Scheduler.request.Scheduler.arrival_s)
-  in
+  let r = Scheduler.simulate ?obs config reqs in
+  (* Both latency arrays in one pass over the completions. *)
+  let n = List.length r.Scheduler.completed_requests in
+  let ttft = Array.make n 0.0 and e2e = Array.make n 0.0 in
+  List.iteri
+    (fun i c ->
+      let arrival = c.Scheduler.request.Scheduler.arrival_s in
+      ttft.(i) <- c.Scheduler.first_token_s -. arrival;
+      e2e.(i) <- c.Scheduler.finish_s -. arrival)
+    r.Scheduler.completed_requests;
   let ttft_p95 = Stats.percentile ttft 0.95 in
   let e2e_p95 = Stats.percentile e2e 0.95 in
   {
@@ -42,6 +40,35 @@ let evaluate ?(seed = 1234) ?(requests = 150) ?(mean_prefill = 256)
     occupancy = r.Scheduler.mean_slot_occupancy;
     meets = ttft_p95 <= obj.ttft_p95_s && e2e_p95 <= obj.e2e_p95_s;
   }
+
+let sweep ?seed ?requests ?mean_prefill ?mean_decode ?domains ?obs config obj
+    ~rates =
+  List.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Slo.sweep: rates must be positive")
+    rates;
+  (* Each rate gets a private sink; merging in index order afterwards keeps
+     the combined telemetry identical whatever the domain count. *)
+  let sinks =
+    match obs with
+    | None -> []
+    | Some _ -> List.map (fun _ -> Hnlpu_obs.Sink.create ()) rates
+  in
+  let tagged = List.mapi (fun i r -> (i, r)) rates in
+  let evals =
+    Hnlpu_par.Par.parallel_map ?domains
+      (fun (i, rate_per_s) ->
+        let obs =
+          match sinks with [] -> None | l -> Some (List.nth l i)
+        in
+        evaluate ?seed ?requests ?mean_prefill ?mean_decode ?obs config obj
+          ~rate_per_s)
+      tagged
+  in
+  (match obs with
+  | None -> ()
+  | Some into ->
+    List.iter (fun s -> Hnlpu_obs.Sink.merge_into ~into s) sinks);
+  evals
 
 let max_rate ?seed ?requests ?(mean_prefill = 256) ?(mean_decode = 128)
     ?(tolerance = 0.05) config obj =

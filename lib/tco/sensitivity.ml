@@ -81,8 +81,8 @@ type tornado_bar = {
   swing : float;
 }
 
-let tornado ?volume () =
-  let sweep name set =
+let tornado ?volume ?domains () =
+  let sweep (name, set) =
     let low_advantage = advantage ?volume (set baseline 0.5) in
     let high_advantage = advantage ?volume (set baseline 2.0) in
     {
@@ -93,15 +93,16 @@ let tornado ?volume () =
     }
   in
   let bars =
-    [
-      sweep "mask-set price" (fun p s -> { p with mask_scale = s });
-      sweep "design & development" (fun p s -> { p with design_scale = s });
-      sweep "chip recurring cost" (fun p s -> { p with recurring_scale = s });
-      sweep "electricity price" (fun p s -> { p with electricity_scale = s });
-      sweep "GPU node price" (fun p s -> { p with gpu_price_scale = s });
-      sweep "GPU software license" (fun p s -> { p with license_scale = s });
-      sweep "HNLPU power" (fun p s -> { p with hnlpu_power_scale = s });
-    ]
+    Hnlpu_par.Par.parallel_map ?domains sweep
+      [
+        ("mask-set price", fun p s -> { p with mask_scale = s });
+        ("design & development", fun p s -> { p with design_scale = s });
+        ("chip recurring cost", fun p s -> { p with recurring_scale = s });
+        ("electricity price", fun p s -> { p with electricity_scale = s });
+        ("GPU node price", fun p s -> { p with gpu_price_scale = s });
+        ("GPU software license", fun p s -> { p with license_scale = s });
+        ("HNLPU power", fun p s -> { p with hnlpu_power_scale = s });
+      ]
   in
   List.sort (fun a b -> compare b.swing a.swing) bars
 

@@ -32,8 +32,10 @@ type tornado_bar = {
   swing : float;           (** |high - low|, the bar length. *)
 }
 
-val tornado : ?volume:Tco.volume -> unit -> tornado_bar list
+val tornado : ?volume:Tco.volume -> ?domains:int -> unit -> tornado_bar list
 (** One bar per parameter, each swept over [0.5x, 2x] with the others at
-    baseline; sorted by decreasing swing. *)
+    baseline; sorted by decreasing swing.  Bars evaluate across the
+    {!Hnlpu_par.Par} pool ([domains] overrides its width); the result is
+    identical for every width. *)
 
 val to_table : tornado_bar list -> Hnlpu_util.Table.t

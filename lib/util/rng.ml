@@ -20,6 +20,18 @@ let split t =
   let seed = next_int64 t in
   { state = mix seed }
 
+let derive seed ~stream =
+  if stream < 0 then invalid_arg "Rng.derive: negative stream";
+  (* Double-mix the (seed, stream) pair so adjacent streams land far
+     apart in state space; independent of any shared generator, so
+     parallel tasks can derive their stream from their index alone. *)
+  let s =
+    mix
+      (Int64.add (Int64.of_int seed)
+         (Int64.mul golden_gamma (Int64.of_int (stream + 1))))
+  in
+  { state = mix s }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int in

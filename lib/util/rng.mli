@@ -18,6 +18,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val derive : int -> stream:int -> t
+(** [derive seed ~stream:i] is a generator for the [i]-th independent
+    stream of [seed], computed from the pair alone — no shared state is
+    advanced, so parallel tasks can each derive their own stream from
+    their index and stay deterministic under any domain count.  [stream]
+    must be non-negative. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

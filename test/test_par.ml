@@ -1,0 +1,391 @@
+(* Tests for the deterministic domain-parallel execution layer (Hnlpu.Par)
+   and the scheduler hot-path optimizations that ride on it:
+
+   - parallel_map/parallel_init agree with their sequential counterparts
+     for every pool width (the determinism guarantee, property-tested);
+   - whole sweeps (Slo.sweep, Ablation, Quant_eval) are bit-identical
+     across domain counts, including merged telemetry;
+   - Scheduler.capacity_profile matches the naive fold it replaced;
+   - Slo.evaluate's single-pass percentile arrays match a recomputation. *)
+
+open Hnlpu
+
+let config = Config.gpt_oss_120b
+
+let widths = [ 1; 2; 4; 8 ]
+
+(* --- Par combinators ------------------------------------------------------ *)
+
+let prop_parallel_map_is_map =
+  QCheck.Test.make ~name:"parallel_map = List.map for j in {1,2,4,8}" ~count:30
+    QCheck.(list (int_range (-1000) 1000))
+    (fun xs ->
+      let f x = (x * 31) + (x / 7) in
+      let expect = List.map f xs in
+      List.for_all (fun j -> Par.parallel_map ~domains:j f xs = expect) widths)
+
+let prop_parallel_init_is_init =
+  QCheck.Test.make ~name:"parallel_init = Array.init for j in {1,2,4,8}" ~count:30
+    QCheck.(int_range 0 200)
+    (fun n ->
+      let f i = Printf.sprintf "%d:%d" i (i * i) in
+      let expect = Array.init n f in
+      List.for_all (fun j -> Par.parallel_init ~domains:j n f = expect) widths)
+
+let test_parallel_sweep_deterministic () =
+  let f rng x = (x, Rng.float rng 1.0, Rng.int rng 1000) in
+  let xs = List.init 17 Fun.id in
+  let base = Par.parallel_sweep ~domains:1 ~seed:99 f xs in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep identical at j=%d" j)
+        true
+        (Par.parallel_sweep ~domains:j ~seed:99 f xs = base))
+    widths
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun j ->
+      let raised =
+        try
+          ignore
+            (Par.parallel_map ~domains:j
+               (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+               (List.init 12 Fun.id));
+          None
+        with Boom i -> Some i
+      in
+      (* Lowest-indexed failing task wins, regardless of completion order. *)
+      Alcotest.(check (option int))
+        (Printf.sprintf "first failure by index at j=%d" j)
+        (Some 2) raised)
+    widths
+
+let test_nested_region_degrades () =
+  (* A task that itself calls parallel_map must complete (sequentially)
+     rather than deadlock the pool. *)
+  let out =
+    Par.parallel_map ~domains:4
+      (fun i ->
+        List.fold_left ( + ) 0
+          (Par.parallel_map ~domains:4 (fun x -> x * i) [ 1; 2; 3 ]))
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check (list int))
+    "nested results" (List.init 8 (fun i -> 6 * i)) out
+
+let test_default_domains_positive () =
+  Alcotest.(check bool) "width >= 1" true (Par.default_domains () >= 1);
+  Alcotest.(check bool) "j=0 rejected" true
+    (try
+       Par.set_default_domains 0;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Rng.derive ----------------------------------------------------------- *)
+
+let test_derive_independent_streams () =
+  let draws seed stream =
+    let rng = Rng.derive seed ~stream in
+    List.init 8 (fun _ -> Rng.next_int64 rng)
+  in
+  Alcotest.(check bool) "same (seed, stream) reproduces" true
+    (draws 7 3 = draws 7 3);
+  Alcotest.(check bool) "streams differ" true (draws 7 0 <> draws 7 1);
+  Alcotest.(check bool) "seeds differ" true (draws 7 0 <> draws 8 0);
+  Alcotest.(check bool) "negative stream rejected" true
+    (try
+       ignore (Rng.derive 1 ~stream:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Scheduler.capacity_profile ------------------------------------------- *)
+
+let naive_capacity ~slots failures now =
+  let lost =
+    List.fold_left (fun acc (t, n) -> if t <= now then acc + n else acc) 0 failures
+  in
+  max 0 (slots - lost)
+
+let prop_capacity_profile_equiv =
+  let gen =
+    QCheck.make
+      ~print:(fun (fs, probes) ->
+        Printf.sprintf "failures=%s probes=%s"
+          (String.concat ";"
+             (List.map (fun (t, n) -> Printf.sprintf "(%.3f,%d)" t n) fs))
+          (String.concat ";" (List.map (Printf.sprintf "%.3f") probes)))
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 0 20)
+             (pair (float_bound_exclusive 10.0) (int_range 0 5)))
+          (list_size (int_range 1 50) (float_bound_exclusive 12.0)))
+  in
+  QCheck.Test.make ~name:"capacity_profile = naive fold" ~count:200 gen
+    (fun (failures, probes) ->
+      let slots = 216 in
+      let profile = Scheduler.capacity_profile ~slots failures in
+      List.for_all
+        (fun now -> profile now = naive_capacity ~slots failures now)
+        probes)
+
+let test_capacity_profile_ties () =
+  (* Several failures at the same instant: the whole tie group counts. *)
+  let failures = [ (2.0, 3); (1.0, 4); (2.0, 5) ] in
+  let profile = Scheduler.capacity_profile ~slots:10 failures in
+  Alcotest.(check int) "before any" 10 (profile 0.5);
+  Alcotest.(check int) "after first" 6 (profile 1.0);
+  Alcotest.(check int) "tie group at once" 0 (profile 2.0);
+  Alcotest.(check int) "clamped at zero" 0 (profile 9.0)
+
+let test_simulate_with_failures_unchanged () =
+  (* The prefix-sum capacity must reproduce the fold-based simulator on a
+     seeded failure workload, field for field. *)
+  let reqs =
+    Scheduler.workload (Rng.create 11) ~n:120 ~rate_per_s:4000.0 ~mean_prefill:64
+      ~mean_decode:32
+  in
+  let failures = [ (0.02, 40); (0.05, 80); (0.02, 16) ] in
+  let r = Scheduler.simulate ~slot_failures:failures config reqs in
+  let naive = naive_capacity ~slots:(Perf.pipeline_slots config) failures in
+  Alcotest.(check int) "no request lost" 120
+    (List.length r.Scheduler.completed_requests);
+  Alcotest.(check bool) "capacity shrank during run" true (naive 1.0 < 216);
+  Alcotest.(check bool) "throughput positive" true
+    (r.Scheduler.throughput_tokens_per_s > 0.0)
+
+(* --- Slo: single-pass evaluate and parallel sweep -------------------------- *)
+
+let test_evaluate_single_pass_regression () =
+  (* Recompute the percentiles from the raw scheduler result the way the
+     two-pass implementation did and pin the evaluation to them. *)
+  let rate_per_s = 3000.0 in
+  let rng = Rng.create 1234 in
+  let reqs =
+    Scheduler.workload rng ~n:150 ~rate_per_s ~mean_prefill:256 ~mean_decode:128
+  in
+  let r = Scheduler.simulate config reqs in
+  let of_completed f = Array.of_list (List.map f r.Scheduler.completed_requests) in
+  let ttft =
+    of_completed (fun c ->
+        c.Scheduler.first_token_s -. c.Scheduler.request.Scheduler.arrival_s)
+  in
+  let e2e =
+    of_completed (fun c ->
+        c.Scheduler.finish_s -. c.Scheduler.request.Scheduler.arrival_s)
+  in
+  let e = Slo.evaluate config Slo.interactive ~rate_per_s in
+  Alcotest.(check (float 0.0)) "ttft p95 exact" (Stats.percentile ttft 0.95) e.Slo.ttft_p95;
+  Alcotest.(check (float 0.0)) "e2e p95 exact" (Stats.percentile e2e 0.95) e.Slo.e2e_p95;
+  Alcotest.(check (float 0.0)) "throughput exact" r.Scheduler.throughput_tokens_per_s
+    e.Slo.throughput_tokens_per_s
+
+let sweep_rates = [ 1000.0; 3000.0; 6000.0; 9000.0; 12000.0 ]
+
+let test_slo_sweep_identical_across_widths () =
+  let run j = Slo.sweep ~requests:40 ~domains:j config Slo.interactive ~rates:sweep_rates in
+  let base = run 1 in
+  Alcotest.(check int) "one evaluation per rate" (List.length sweep_rates)
+    (List.length base);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Slo.sweep identical at j=%d" j)
+        true (run j = base))
+    widths
+
+let test_slo_sweep_matches_sequential_evaluate () =
+  let base =
+    List.map
+      (fun rate_per_s -> Slo.evaluate ~requests:40 config Slo.interactive ~rate_per_s)
+      sweep_rates
+  in
+  Alcotest.(check bool) "sweep = mapped evaluate" true
+    (Slo.sweep ~requests:40 ~domains:4 config Slo.interactive ~rates:sweep_rates = base)
+
+let test_slo_sweep_obs_merge_deterministic () =
+  let run j =
+    let obs = Obs.Sink.create () in
+    ignore (Slo.sweep ~requests:30 ~domains:j ~obs config Slo.interactive
+              ~rates:sweep_rates);
+    (Obs.Sink.events obs, Obs.Metrics.to_json (Obs.Sink.metrics obs))
+  in
+  let events1, metrics1 = run 1 in
+  let events4, metrics4 = run 4 in
+  Alcotest.(check bool) "telemetry non-empty" true (events1 <> []);
+  Alcotest.(check bool) "event timeline identical" true (events1 = events4);
+  Alcotest.(check string) "metrics registry identical" metrics1 metrics4
+
+(* --- Sweep determinism across the other parallelized modules --------------- *)
+
+let test_ablation_sweeps_identical_across_widths () =
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "interconnect at j=%d" j)
+        true
+        (Ablation.interconnect_sweep ~domains:j config
+        = Ablation.interconnect_sweep ~domains:1 config);
+      Alcotest.(check bool)
+        (Printf.sprintf "precision at j=%d" j)
+        true
+        (Ablation.precision_sweep ~domains:j config
+        = Ablation.precision_sweep ~domains:1 config);
+      Alcotest.(check bool)
+        (Printf.sprintf "slack at j=%d" j)
+        true
+        (Ablation.slack_sweep (Rng.create 5) ~domains:j ~trials:60 ()
+        = Ablation.slack_sweep (Rng.create 5) ~domains:1 ~trials:60 ());
+      Alcotest.(check bool)
+        (Printf.sprintf "speculative at j=%d" j)
+        true
+        (Ablation.speculative_sweep ~domains:j config
+        = Ablation.speculative_sweep ~domains:1 config))
+    widths
+
+let test_quant_eval_identical_across_widths () =
+  let run j =
+    Quant_eval.evaluate ~domains:j ~sequences:6 ~length:8 (Rng.create 3)
+      Config.tiny_hnlpu
+  in
+  let base = run 1 in
+  Alcotest.(check bool) "scored tokens" true (base.Quant_eval.tokens_scored > 0);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "quant report identical at j=%d" j)
+        true (run j = base))
+    widths
+
+let test_scaling_and_tornado_identical_across_widths () =
+  let scaling_base = Scaling.sweep ~domains:1 () in
+  let tornado_base = Sensitivity.tornado ~domains:1 () in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scaling at j=%d" j)
+        true
+        (Scaling.sweep ~domains:j () = scaling_base);
+      Alcotest.(check bool)
+        (Printf.sprintf "tornado at j=%d" j)
+        true
+        (Sensitivity.tornado ~domains:j () = tornado_base))
+    widths
+
+let test_experiments_identical_across_widths () =
+  let base = Experiments.all ~domains:1 () in
+  Alcotest.(check int) "nine artifacts" 9 (List.length base);
+  Alcotest.(check bool) "tables identical at j=4" true
+    (Experiments.all ~domains:4 () = base)
+
+(* --- Obs merge primitives -------------------------------------------------- *)
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr a "m/count" ~by:2.0;
+  Obs.Metrics.incr b "m/count" ~by:3.0;
+  Obs.Metrics.set b "m/gauge" 7.0;
+  Obs.Metrics.observe a "m/hist" 1.0;
+  Obs.Metrics.observe b "m/hist" 2.0;
+  Obs.Metrics.observe b "m/hist" 3.0;
+  Obs.Metrics.merge_into ~into:a b;
+  Alcotest.(check (option (float 0.0))) "counters add" (Some 5.0)
+    (Obs.Metrics.counter a "m/count");
+  Alcotest.(check (option (float 0.0))) "gauge copied" (Some 7.0)
+    (Obs.Metrics.gauge a "m/gauge");
+  Alcotest.(check (option (array (float 0.0)))) "hist samples appended"
+    (Some [| 1.0; 2.0; 3.0 |])
+    (Obs.Metrics.samples a "m/hist")
+
+let test_metrics_merge_kind_clash () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr a "x";
+  Obs.Metrics.set b "x" 1.0;
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       Obs.Metrics.merge_into ~into:a b;
+       false
+     with Invalid_argument _ -> true)
+
+let test_sink_merge_preserves_order () =
+  let t = Obs.Event.track ~process:"p" ~thread:"t" in
+  let a = Obs.Sink.create () and b = Obs.Sink.create () in
+  Obs.Sink.instant a ~track:t ~name:"a1" ~ts_s:0.0;
+  Obs.Sink.instant b ~track:t ~name:"b1" ~ts_s:1.0;
+  Obs.Sink.instant b ~track:t ~name:"b2" ~ts_s:2.0;
+  Obs.Sink.merge_into ~into:a b;
+  let names =
+    List.filter_map
+      (function Obs.Event.Instant { name; _ } -> Some name | _ -> None)
+      (Obs.Sink.events a)
+  in
+  Alcotest.(check (list string)) "b appended after a, in order"
+    [ "a1"; "b1"; "b2" ] names
+
+(* --- Perf.token_latency_cached --------------------------------------------- *)
+
+let test_latency_cache_agrees () =
+  List.iter
+    (fun context ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "cached = direct at %d" context)
+        (Perf.token_latency_s config ~context)
+        (Perf.token_latency_cached config ~context))
+    [ 2048; 8192; 65536; 2048 ]
+
+let qt t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "hnlpu-par"
+    [
+      ( "par-combinators",
+        [
+          qt prop_parallel_map_is_map;
+          qt prop_parallel_init_is_init;
+          Alcotest.test_case "parallel_sweep deterministic" `Quick
+            test_parallel_sweep_deterministic;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "nested regions" `Quick test_nested_region_degrades;
+          Alcotest.test_case "default width" `Quick test_default_domains_positive;
+        ] );
+      ( "rng-derive",
+        [ Alcotest.test_case "independent streams" `Quick test_derive_independent_streams ] );
+      ( "scheduler-capacity",
+        [
+          qt prop_capacity_profile_equiv;
+          Alcotest.test_case "tie groups" `Quick test_capacity_profile_ties;
+          Alcotest.test_case "failure workload" `Quick
+            test_simulate_with_failures_unchanged;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "single-pass regression" `Quick
+            test_evaluate_single_pass_regression;
+          Alcotest.test_case "sweep identical across widths" `Quick
+            test_slo_sweep_identical_across_widths;
+          Alcotest.test_case "sweep = mapped evaluate" `Quick
+            test_slo_sweep_matches_sequential_evaluate;
+          Alcotest.test_case "telemetry merge deterministic" `Quick
+            test_slo_sweep_obs_merge_deterministic;
+        ] );
+      ( "sweep-determinism",
+        [
+          Alcotest.test_case "ablations" `Quick test_ablation_sweeps_identical_across_widths;
+          Alcotest.test_case "quant-eval" `Quick test_quant_eval_identical_across_widths;
+          Alcotest.test_case "scaling + tornado" `Quick
+            test_scaling_and_tornado_identical_across_widths;
+          Alcotest.test_case "experiments tables" `Quick
+            test_experiments_identical_across_widths;
+        ] );
+      ( "obs-merge",
+        [
+          Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+          Alcotest.test_case "kind clash" `Quick test_metrics_merge_kind_clash;
+          Alcotest.test_case "sink order" `Quick test_sink_merge_preserves_order;
+        ] );
+      ( "perf-cache",
+        [ Alcotest.test_case "cached = direct" `Quick test_latency_cache_agrees ] );
+    ]
