@@ -838,7 +838,17 @@ let check_cmd =
              a --fixture) as a bundle under $(docv) — a starting template \
              for user bundles and the round-trip smoke test CI runs.")
   in
-  let run json verbose fixture self_test list_rules bundle export_bundle =
+  let static =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Static-only pre-admission mode: skip the NOC-EXEC value \
+             execution and decide from the static passes alone (links, \
+             ports, bytes, deadlock, def-use, buffer liveness, determinism \
+             lint, budgets).")
+  in
+  let run json verbose fixture self_test list_rules bundle export_bundle static =
     if verbose then Logs.set_level (Some Logs.Info);
     if list_rules then List.iter print_endline Signoff.rules
     else if self_test then begin
@@ -889,7 +899,7 @@ let check_cmd =
         in
         Printf.printf "%d bundle file(s) written under %s\n" (List.length paths) dir
       | None ->
-        let ds = Signoff.check design in
+        let ds = Signoff.check ~dynamic:(not static) design in
         if json then print_string (Diagnostic.to_json ds)
         else print_string (Diagnostic.report ~show_info:verbose ds);
         exit (Diagnostic.exit_code ds)
@@ -899,12 +909,13 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Whole-design static signoff: netlist DRC/LVS, NoC schedule \
-          execution/makespan cross-checks, thermal operating point and \
-          buffer/budget linting with severity-based exit codes — on the \
-          reference design or a user --bundle")
+          execution/makespan cross-checks, static dataflow analyses \
+          (deadlock, def-use, buffer liveness, determinism lint), thermal \
+          operating point and buffer/budget linting with severity-based \
+          exit codes — on the reference design or a user --bundle")
     Term.(
       const run $ json $ verbose $ fixture $ self_test $ list_rules $ bundle
-      $ export_bundle)
+      $ export_bundle $ static)
 
 (* --- speculate ------------------------------------------------------------------- *)
 

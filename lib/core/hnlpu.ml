@@ -102,6 +102,7 @@ module Trace = Hnlpu_system.Trace
 module Slo = Hnlpu_system.Slo
 module Multi_node = Hnlpu_system.Multi_node
 module Traffic = Hnlpu_system.Traffic
+module Execution = Hnlpu_system.Execution
 
 (** {1 Baselines and economics} *)
 
@@ -128,6 +129,7 @@ module Netlist_rules = Hnlpu_verify.Netlist_rules
 module Noc_rules = Hnlpu_verify.Noc_rules
 module System_rules = Hnlpu_verify.System_rules
 module Chip_rules = Hnlpu_verify.Chip_rules
+module Static = Hnlpu_verify.Static
 module Signoff = Hnlpu_verify.Signoff
 module Bundle = Hnlpu_verify.Bundle
 

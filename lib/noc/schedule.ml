@@ -95,6 +95,151 @@ let makespan ?(link = Link.cxl3) plan =
 
 let transfer_count plan = List.fold_left (fun a s -> a + List.length s) 0 plan
 
+let total_bytes plan =
+  List.fold_left
+    (fun acc step ->
+      List.fold_left (fun a { bytes; _ } -> a + bytes) acc step)
+    0 plan
+
+let endpoints plan =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (List.iter
+       (fun { src; dst; _ } ->
+         Hashtbl.replace seen src ();
+         Hashtbl.replace seen dst ()))
+    plan;
+  List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) seen [])
+
+(* --- Symbolic execution ---------------------------------------------------- *)
+
+module ISet = Set.Make (Int)
+module IMap = Map.Make (Int)
+
+type merge_mode = Accumulate | Overwrite | Union
+
+type delivery = {
+  d_step : int;
+  d_index : int;
+  d_src : Topology.chip;
+  d_dst : Topology.chip;
+  d_bytes : int;
+}
+
+type symbolic = {
+  finals : (Topology.chip * (Topology.chip * int) list) list;
+  live : (Topology.chip * int list) list;
+  unwritten_reads : delivery list;
+  overwrite_races : (int * Topology.chip * int) list;
+  deliveries : delivery list;
+}
+
+let run_symbolic ~producers ~mode plan =
+  let chips = List.sort_uniq compare (endpoints plan @ producers) in
+  (* chip -> origin -> (count, provenance: delivery indices that carried the
+     origin here).  Producers start holding one copy of their own value. *)
+  let state : (Topology.chip, (int * ISet.t) IMap.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let written = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace state c (IMap.singleton c (1, ISet.empty));
+      Hashtbl.replace written c ())
+    producers;
+  let get c = Option.value ~default:IMap.empty (Hashtbl.find_opt state c) in
+  let index = ref (-1) in
+  let deliveries = ref [] and unread = ref [] and races = ref [] in
+  List.iteri
+    (fun s step ->
+      let m = mode s in
+      (* Snapshot every sender before applying any delivery: transfers of one
+         step read start-of-step state, matching {!run_all_reduce}. *)
+      let snap =
+        List.map
+          (fun { src; dst; bytes } ->
+            incr index;
+            let d =
+              { d_step = s; d_index = !index; d_src = src; d_dst = dst;
+                d_bytes = bytes }
+            in
+            deliveries := d :: !deliveries;
+            if not (Hashtbl.mem written src) then unread := d :: !unread;
+            (d, get src))
+          step
+      in
+      let tag i payload =
+        IMap.map (fun (n, prov) -> (n, ISet.add i prov)) payload
+      in
+      let dsts = List.sort_uniq compare (List.map (fun (d, _) -> d.d_dst) snap) in
+      List.iter
+        (fun dst ->
+          let incoming = List.filter (fun (d, _) -> d.d_dst = dst) snap in
+          (match m with
+          | Accumulate ->
+            let merged =
+              List.fold_left
+                (fun acc (d, payload) ->
+                  IMap.union
+                    (fun _ (n1, p1) (n2, p2) -> Some (n1 + n2, ISet.union p1 p2))
+                    acc
+                    (tag d.d_index payload))
+                (get dst) incoming
+            in
+            Hashtbl.replace state dst merged
+          | Overwrite -> (
+            match incoming with
+            | [ (d, payload) ] ->
+              Hashtbl.replace state dst (tag d.d_index payload)
+            | _ ->
+              races := (s, dst, List.length incoming) :: !races;
+              (* run_all_reduce applies same-step overwrites in hash-table
+                 order — last writer wins nondeterministically.  Pick the
+                 lowest sender so the analysis itself stays deterministic;
+                 the race is already reported. *)
+              let d, payload =
+                List.fold_left
+                  (fun ((a, _) as best) ((b, _) as cand) ->
+                    if b.d_src < a.d_src then cand else best)
+                  (List.hd incoming) (List.tl incoming)
+              in
+              Hashtbl.replace state dst (tag d.d_index payload))
+          | Union ->
+            (* Set semantics: an origin the chip already holds is kept, so a
+               delivery's index lands only on origins it actually introduces
+               (a delivery introducing nothing ends up in no live set). *)
+            let merged =
+              List.fold_left
+                (fun acc (d, payload) ->
+                  IMap.union (fun _ cur _ -> Some cur) acc (tag d.d_index payload))
+                (get dst) incoming
+            in
+            Hashtbl.replace state dst merged);
+          Hashtbl.replace written dst ())
+        dsts)
+    plan;
+  let finals =
+    List.map
+      (fun c -> (c, List.map (fun (o, (n, _)) -> (o, n)) (IMap.bindings (get c))))
+      chips
+  in
+  let live =
+    List.map
+      (fun c ->
+        ( c,
+          ISet.elements
+            (IMap.fold (fun _ (_, p) acc -> ISet.union p acc) (get c) ISet.empty)
+        ))
+      chips
+  in
+  {
+    finals;
+    live;
+    unwritten_reads = List.rev !unread;
+    overwrite_races = List.rev !races;
+    deliveries = List.rev !deliveries;
+  }
+
 let run_all_reduce ?plan ?obs ?(link = Link.cxl3) ?(t0_s = 0.0) ~group vals =
   (match vals with
   | [] -> invalid_arg "Schedule.run_all_reduce: empty"

@@ -54,6 +54,66 @@ val makespan : ?link:Link.t -> t -> float
 
 val transfer_count : t -> int
 
+val total_bytes : t -> int
+(** Sum of every transfer's payload over the whole plan. *)
+
+val endpoints : t -> Topology.chip list
+(** Every chip appearing as a source or destination, sorted, deduplicated. *)
+
+(** {1 Symbolic execution}
+
+    The static counterpart of {!run_all_reduce}: instead of real vectors,
+    every chip's state is a multiset of {e origin contributions} ("one copy
+    of chip 4's partial"), and a plan is executed step by step under a
+    per-step merge mode.  This is what the NOC-DEFUSE signoff rule runs —
+    it sees read-before-write, same-step write races and dead transfers
+    that byte conservation (NOC-BYTES) is blind to, without touching any
+    values. *)
+
+type merge_mode =
+  | Accumulate  (** Receivers add incoming payloads to their state (the
+                    reduce phase of {!run_all_reduce}). *)
+  | Overwrite   (** Receivers replace their state with the incoming payload
+                    (the broadcast phases of {!run_all_reduce}). *)
+  | Union       (** Receivers keep one copy per origin (ring all-gather:
+                    forwarding a shard the receiver already holds adds
+                    nothing). *)
+
+type delivery = {
+  d_step : int;
+  d_index : int;  (** Position in plan order — the key into {!symbolic.live}. *)
+  d_src : Topology.chip;
+  d_dst : Topology.chip;
+  d_bytes : int;
+}
+
+type symbolic = {
+  finals : (Topology.chip * (Topology.chip * int) list) list;
+      (** Per chip (sorted): the final contribution multiset as sorted
+          [(origin, count)] pairs.  A clean all-reduce member ends with
+          every group member exactly once. *)
+  live : (Topology.chip * int list) list;
+      (** Per chip: indices of the deliveries whose payload survives into
+          the chip's final state (transitively through forwarding).  A
+          delivery in nobody's live set is dead weight on the fabric. *)
+  unwritten_reads : delivery list;
+      (** Transfers whose source had been written by no earlier step (and
+          is not a producer) — the sender forwards garbage. *)
+  overwrite_races : (int * Topology.chip * int) list;
+      (** [(step, dst, writers)]: several same-step [Overwrite] deliveries
+          race for one chip's slot; last-writer-wins order is undefined. *)
+  deliveries : delivery list;  (** Every transfer, in plan order. *)
+}
+
+val run_symbolic :
+  producers:Topology.chip list -> mode:(int -> merge_mode) -> t -> symbolic
+(** Execute the plan on contribution multisets.  [producers] hold one copy
+    of their own value before step 0 (a reduce: the whole group; a
+    broadcast: just the root); [mode] maps each step index to its merge
+    mode (an all-reduce: [Accumulate] at step 0, [Overwrite] after).
+    Transfers of one step read start-of-step state, exactly like
+    {!run_all_reduce}. *)
+
 (** {1 Execution on values} *)
 
 val run_all_reduce :

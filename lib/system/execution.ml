@@ -1,0 +1,55 @@
+type seeding = Fixed of int | Wall_clock
+
+type merge_order = Rate_order | Completion_order
+
+type export_order = Sorted | Hash_order
+
+type t = {
+  workload_seed : seeding;
+  sink_merge : merge_order;
+  export_order : export_order;
+  domains : int option;
+}
+
+let deterministic =
+  {
+    workload_seed = Fixed 42;
+    sink_merge = Rate_order;
+    export_order = Sorted;
+    domains = None;
+  }
+
+let seeding_to_string = function
+  | Fixed s -> string_of_int s
+  | Wall_clock -> "wall-clock"
+
+let seeding_of_string s =
+  match s with
+  | "wall-clock" -> Some Wall_clock
+  | _ -> Option.map (fun n -> Fixed n) (int_of_string_opt s)
+
+let merge_order_to_string = function
+  | Rate_order -> "rate-order"
+  | Completion_order -> "completion-order"
+
+let merge_order_of_string = function
+  | "rate-order" -> Some Rate_order
+  | "completion-order" -> Some Completion_order
+  | _ -> None
+
+let export_order_to_string = function
+  | Sorted -> "sorted"
+  | Hash_order -> "hash-order"
+
+let export_order_of_string = function
+  | "sorted" -> Some Sorted
+  | "hash-order" -> Some Hash_order
+  | _ -> None
+
+let describe e =
+  Printf.sprintf
+    "workload-seed=%s sink-merge=%s export-order=%s domains=%s"
+    (seeding_to_string e.workload_seed)
+    (merge_order_to_string e.sink_merge)
+    (export_order_to_string e.export_order)
+    (match e.domains with None -> "auto" | Some n -> string_of_int n)

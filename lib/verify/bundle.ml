@@ -66,6 +66,7 @@ type manifest = {
   m_max_context : int;
   m_power_scale : float;
   m_coolant_c : float;
+  m_execution : Hnlpu_system.Execution.t;
 }
 
 let parse_manifest path =
@@ -102,7 +103,10 @@ let parse_manifest path =
     | None -> default
   in
   let known =
-    [ "config"; "claimed-slots"; "max-context"; "power-scale"; "coolant-c" ]
+    [
+      "config"; "claimed-slots"; "max-context"; "power-scale"; "coolant-c";
+      "workload-seed"; "sink-merge"; "export-order"; "domains";
+    ]
   in
   List.iter
     (fun (k, _, line) ->
@@ -112,12 +116,44 @@ let parse_manifest path =
               (String.concat ", " known)))
     assoc;
   let config_name, config_line = required "config" in
+  (* Execution keys are optional (absent = the deterministic defaults), but
+     a present key must parse — a typo silently reverting to the default
+     would defeat the DET-LINT declaration. *)
+  let module E = Hnlpu_system.Execution in
+  let optional_parsed key parser ~expected default =
+    match find key with
+    | None -> default
+    | Some (_, v, line) -> (
+      match parser v with
+      | Some x -> x
+      | None -> fail path line "%s: expected %s, got %S" key expected v)
+  in
+  let execution =
+    {
+      E.workload_seed =
+        optional_parsed "workload-seed" E.seeding_of_string
+          ~expected:"an integer or 'wall-clock'"
+          E.deterministic.E.workload_seed;
+      E.sink_merge =
+        optional_parsed "sink-merge" E.merge_order_of_string
+          ~expected:"'rate-order' or 'completion-order'"
+          E.deterministic.E.sink_merge;
+      E.export_order =
+        optional_parsed "export-order" E.export_order_of_string
+          ~expected:"'sorted' or 'hash-order'" E.deterministic.E.export_order;
+      E.domains =
+        optional_parsed "domains"
+          (fun v -> Option.map Option.some (int_of_string_opt v))
+          ~expected:"an integer" E.deterministic.E.domains;
+    }
+  in
   {
     m_config = config_by_name path config_line config_name;
     m_claimed_slots = int_of "claimed-slots" (required "claimed-slots");
     m_max_context = int_of "max-context" (required "max-context");
     m_power_scale = optional_float "power-scale" 1.0;
     m_coolant_c = optional_float "coolant-c" Hnlpu_chip.Thermal.coolant_c;
+    m_execution = execution;
   }
 
 (* --- Schematics ----------------------------------------------------------- *)
@@ -390,6 +426,7 @@ let load dir =
     max_context = manifest.m_max_context;
     power_scale = manifest.m_power_scale;
     coolant_c = manifest.m_coolant_c;
+    execution = manifest.m_execution;
   }
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
@@ -418,6 +455,7 @@ let export ~dir (d : Signoff.design) =
     write_file path content;
     written := path :: !written
   in
+  let module E = Hnlpu_system.Execution in
   emit (Filename.concat dir "manifest")
     (Printf.sprintf
        "# hnlpu bundle manifest\n\
@@ -425,9 +463,19 @@ let export ~dir (d : Signoff.design) =
         claimed-slots = %d\n\
         max-context = %d\n\
         power-scale = %g\n\
-        coolant-c = %g\n"
+        coolant-c = %g\n\
+        workload-seed = %s\n\
+        sink-merge = %s\n\
+        export-order = %s\n\
+        %s"
        d.Signoff.config.Config.name d.Signoff.claimed_slots
-       d.Signoff.max_context d.Signoff.power_scale d.Signoff.coolant_c);
+       d.Signoff.max_context d.Signoff.power_scale d.Signoff.coolant_c
+       (E.seeding_to_string d.Signoff.execution.E.workload_seed)
+       (E.merge_order_to_string d.Signoff.execution.E.sink_merge)
+       (E.export_order_to_string d.Signoff.execution.E.export_order)
+       (match d.Signoff.execution.E.domains with
+       | None -> ""
+       | Some n -> Printf.sprintf "domains = %d\n" n));
   List.iter
     (fun cd ->
       emit

@@ -51,6 +51,18 @@ let report ?(show_info = true) ds =
        (count Error ds) (count Warning ds) (count Info ds));
   Buffer.contents buf
 
+let normalize ds =
+  (* Errors first, then by rule/subject/message; exact duplicates (the same
+     rule firing identically from two passes, or one check run twice)
+     collapse — so two runs over the same design serialize byte-identically
+     regardless of rule-family emission order. *)
+  List.sort_uniq
+    (fun a b ->
+      match compare (rank b.severity) (rank a.severity) with
+      | 0 -> compare (a.rule, a.subject, a.message) (b.rule, b.subject, b.message)
+      | c -> c)
+    ds
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -75,4 +87,4 @@ let to_json ds =
       (String.lowercase_ascii (severity_label d.severity))
       (json_escape d.subject) (json_escape d.message)
   in
-  "[\n" ^ String.concat ",\n" (List.map item ds) ^ "\n]\n"
+  "[\n" ^ String.concat ",\n" (List.map item (normalize ds)) ^ "\n]\n"

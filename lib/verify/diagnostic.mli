@@ -47,6 +47,12 @@ val report : ?show_info:bool -> t list -> string
 (** Human report: one line per diagnostic (errors first) plus a summary
     tally.  [show_info] defaults to [true]. *)
 
+val normalize : t list -> t list
+(** Stable order (errors first, then rule/subject/message) with exact
+    [(rule, subject, message)] duplicates deduplicated — applied by
+    {!to_json} so repeated checks of one design export byte-identically. *)
+
 val to_json : t list -> string
 (** Machine-readable rendering: a JSON array of
-    [{"rule":..,"severity":..,"subject":..,"message":..}] objects. *)
+    [{"rule":..,"severity":..,"subject":..,"message":..}] objects, in
+    {!normalize} order. *)

@@ -245,7 +245,7 @@ let makespan ?link ~subject coll (plan : Schedule.t) =
           (100.0 *. makespan_budget);
       ]
 
-let check ~subject coll plan =
+let check ?(dynamic = true) ~subject coll plan =
   let static =
     links ~subject plan @ contention ~subject plan
     @ conservation ~subject coll plan
@@ -258,11 +258,10 @@ let check ~subject coll plan =
            conservation clean"
           (List.length plan)
           (Schedule.transfer_count plan)
-          (List.fold_left
-             (fun acc step ->
-               List.fold_left (fun a { Schedule.bytes; _ } -> a + bytes) acc step)
-             0 plan);
+          (Schedule.total_bytes plan);
       ]
     else static
   in
-  static @ execution ~subject coll plan @ makespan ~subject coll plan
+  static
+  @ (if dynamic then execution ~subject coll plan else [])
+  @ makespan ~subject coll plan

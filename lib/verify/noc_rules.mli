@@ -72,7 +72,10 @@ val makespan :
     [Info] otherwise; empty for [Raw]. *)
 
 val check :
-  subject:string -> collective -> Hnlpu_noc.Schedule.t -> Diagnostic.t list
+  ?dynamic:bool -> subject:string -> collective -> Hnlpu_noc.Schedule.t ->
+  Diagnostic.t list
 (** All rule families: links/ports/conservation (with an [Info] plan
     summary when those are clean), then the execution and makespan
-    cross-checks. *)
+    cross-checks.  [dynamic:false] (default [true]) skips the [NOC-EXEC]
+    value execution — the static-only pre-admission mode of
+    [hnlpu check --static]. *)

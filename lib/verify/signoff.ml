@@ -20,6 +20,7 @@ type design = {
   max_context : int;
   power_scale : float;
   coolant_c : float;
+  execution : Execution.t;
 }
 
 let reference ?(seed = 42) ?(bank_in = 48) ?(bank_out = 6) () =
@@ -77,13 +78,14 @@ let reference ?(seed = 42) ?(bank_in = 48) ?(bank_out = 6) () =
     max_context = 65536;
     power_scale = 1.0;
     coolant_c = Hnlpu_chip.Thermal.coolant_c;
+    execution = Execution.deterministic;
   }
 
 let log_src = Logs.Src.create "hnlpu.verify" ~doc:"Static signoff progress"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let check d =
+let check ?(dynamic = true) d =
   let subject_of chip = Printf.sprintf "chip%02d" chip in
   let family name ds =
     Log.info (fun m -> m "%s: %d diagnostic(s)" name (List.length ds));
@@ -102,8 +104,18 @@ let check d =
   let noc =
     family "NoC schedules"
       (List.concat_map
-         (fun (name, coll, plan) -> Noc_rules.check ~subject:name coll plan)
+         (fun (name, coll, plan) ->
+           Noc_rules.check ~dynamic ~subject:name coll plan)
          d.plans)
+  in
+  let dataflow =
+    family "static dataflow"
+      (List.concat_map
+         (fun (name, coll, plan) ->
+           Static.check_plan ~subject:name ~config:d.config
+             ~max_context:d.max_context coll plan)
+         d.plans
+      @ Static.determinism ~subject:"execution" d.execution)
   in
   let system =
     family "system budgets"
@@ -119,12 +131,13 @@ let check d =
       (Chip_rules.thermal ~config:d.config ~power_scale:d.power_scale
          ~coolant_c:d.coolant_c ~subject:"thermal" ())
   in
-  netlist @ noc @ system @ thermal
+  netlist @ noc @ dataflow @ system @ thermal
 
 let rules =
   [
     "ME-CONGEST"; "ME-TRACK"; "ME-PORT"; "ME-WINDOW"; "ME-MASK"; "ME-LVS";
     "NOC-LINK"; "NOC-PORT"; "NOC-BYTES"; "NOC-EXEC"; "NOC-MAKESPAN";
+    "NOC-DEADLOCK"; "NOC-DEFUSE"; "BUF-LIVE"; "DET-LINT";
     "PIPE-MAP"; "BUF-OVFL"; "SCHED-SLOT"; "THERM-DENS"; "THERM-JCT";
   ]
 
@@ -153,6 +166,18 @@ let map_plan target f d =
       List.map
         (fun (name, coll, plan) ->
           if name = target then (name, coll, f plan) else (name, coll, plan))
+        d.plans;
+  }
+
+(* Replace a whole plan entry — declared collective and schedule together —
+   for fixtures that must stay NOC-BYTES/NOC-MAKESPAN-clean at a different
+   payload size. *)
+let replace_entry target entry d =
+  {
+    d with
+    plans =
+      List.map
+        (fun ((name, _, _) as e) -> if name = target then entry else e)
         d.plans;
   }
 
@@ -255,6 +280,47 @@ let fixture rule =
         | [ reduce; bcast ] -> reduce :: List.map (fun t -> [ t ]) bcast
         | plan -> plan)
       d
+  | "NOC-DEADLOCK" ->
+    (* Replace the star broadcast with a same-step forwarding ring among the
+       three peers: each send can only forward what the same step delivers,
+       and the wait-for graph closes on itself. *)
+    map_plan "broadcast.col0"
+      (function
+        | [ ({ Schedule.bytes; _ } :: _) ] ->
+          [
+            [
+              { Schedule.src = 4; dst = 8; bytes };
+              { Schedule.src = 8; dst = 12; bytes };
+              { Schedule.src = 12; dst = 4; bytes };
+            ];
+          ]
+        | plan -> plan)
+      d
+  | "NOC-DEFUSE" ->
+    (* Same trick as the NOC-EXEC fixture, on another column: swapping the
+       head transfers of the reduce and broadcast phases keeps every byte
+       tally intact, but the root accumulates a pre-reduction value and one
+       peer is overwritten with it — visible statically as wrong final
+       contribution multisets. *)
+    map_plan "all-reduce.col2"
+      (function
+        | [ t0 :: r0; u0 :: r1 ] -> [ u0 :: r0; t0 :: r1 ]
+        | plan -> plan)
+      d
+  | "BUF-LIVE" ->
+    (* Same ring all-gather, 32 MB shards: bytes, ports and values all stay
+       clean, but one chip's working shard plus same-step RX and TX staging
+       (3 x 32 MB) cannot fit in the headroom the 64K-context KV leaves in
+       the 320 MB attention buffer. *)
+    let group = Topology.row_group 1 in
+    let shard_bytes = 32_000_000 in
+    replace_entry "all-gather.row1"
+      ( "all-gather.row1",
+        Noc_rules.All_gather { group; shard_bytes },
+        Schedule.all_gather ~group ~shard_bytes )
+      d
+  | "DET-LINT" ->
+    { d with execution = { d.execution with Execution.workload_seed = Execution.Wall_clock } }
   | "THERM-DENS" ->
     (* Overdriven operating point: every block 60% hotter pushes the
        interconnect-engine hotspot past the 2 W/mm2 DLC limit while the

@@ -25,6 +25,9 @@ type design = {
   power_scale : float;               (** Operating-point power multiplier
                                          (1.0 = the Table 1 floorplan). *)
   coolant_c : float;                 (** Facility coolant temperature. *)
+  execution : Hnlpu_system.Execution.t;
+                                     (** Declared execution environment,
+                                         linted by DET-LINT. *)
 }
 
 val reference : ?seed:int -> ?bank_in:int -> ?bank_out:int -> unit -> design
@@ -33,11 +36,14 @@ val reference : ?seed:int -> ?bank_in:int -> ?bank_out:int -> unit -> design
     row/column collective plans the dataflow uses, the canonical stage
     map, and a 64K worst-case context.  Signoff-clean by construction. *)
 
-val check : design -> Diagnostic.t list
+val check : ?dynamic:bool -> design -> Diagnostic.t list
 (** The full rule set: per-chip congestion/DRC/LVS, cross-chip mask
-    uniformity, per-plan link/port/byte/execution/makespan checks,
-    pipeline mapping, weight partition, buffer budget, scheduler slots,
-    and the thermal operating point. *)
+    uniformity, per-plan link/port/byte/execution/makespan checks, the
+    {!Static} dataflow passes (deadlock, def-use, buffer liveness,
+    determinism lint), pipeline mapping, weight partition, buffer budget,
+    scheduler slots, and the thermal operating point.  [dynamic:false]
+    (default [true]) skips the NOC-EXEC value execution — the
+    static-only pre-admission mode behind [hnlpu check --static]. *)
 
 val rules : string list
 (** Every stable rule ID, for [--fixture] enumeration and self-tests. *)
@@ -45,7 +51,8 @@ val rules : string list
 val expected_severity : string -> Diagnostic.severity
 (** The severity the rule's {!fixture} must trigger: [Warning] for
     [NOC-MAKESPAN] (a slow-but-correct plan still ships), [Error] for
-    everything else. *)
+    everything else — including all four static dataflow families
+    ([NOC-DEADLOCK], [NOC-DEFUSE], [BUF-LIVE], [DET-LINT]). *)
 
 val fixture : string -> design
 (** [fixture rule] is {!reference} with one seeded violation of [rule].

@@ -49,6 +49,25 @@ let test_json_renders () =
     && Thelp.contains j "\\\"quoted\\\""
     && Thelp.contains j "\"severity\": \"error\"")
 
+let test_normalize_dedupes_and_orders () =
+  let e = Diagnostic.error ~rule:"X" ~subject:"s" "boom" in
+  let w = Diagnostic.warning ~rule:"W" ~subject:"s" "hm" in
+  let i = Diagnostic.info ~rule:"A" ~subject:"s" "ok" in
+  (* Exact duplicates collapse; severities order errors-first. *)
+  Alcotest.(check int) "duplicates collapse" 3
+    (List.length (Diagnostic.normalize [ i; e; w; e; i; w ]));
+  (match Diagnostic.normalize [ i; w; e ] with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "errors first" true
+      (a.Diagnostic.severity = Diagnostic.Error
+      && b.Diagnostic.severity = Diagnostic.Warning
+      && c.Diagnostic.severity = Diagnostic.Info)
+  | _ -> Alcotest.fail "normalize changed the count");
+  (* to_json goes through normalize: any input order exports byte-identically. *)
+  Alcotest.(check string) "json is order-insensitive"
+    (Diagnostic.to_json [ e; w; i ])
+    (Diagnostic.to_json [ i; i; w; e; w ])
+
 (* --- Reference design is signoff-clean ------------------------------------- *)
 
 let test_reference_clean () =
@@ -94,13 +113,17 @@ let test_unknown_fixture () =
 let test_rules_all_have_fixtures () =
   (* Round-trip: every published rule ID has a constructible fixture and a
      declared severity — so the self-test and the fixture_cases below cover
-     exactly Signoff.rules. *)
+     exactly Signoff.rules (including the four static dataflow families). *)
   List.iter
     (fun rule ->
       ignore (Signoff.fixture rule);
       ignore (Signoff.expected_severity rule))
     Signoff.rules;
-  Alcotest.(check int) "rule count" 16 (List.length Signoff.rules)
+  Alcotest.(check int) "rule count" 20 (List.length Signoff.rules);
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool) (rule ^ " published") true (List.mem rule Signoff.rules))
+    [ "NOC-DEADLOCK"; "NOC-DEFUSE"; "BUF-LIVE"; "DET-LINT" ]
 
 let test_makespan_fixture_is_warning () =
   (* A slow-but-correct plan must gate as a Warning (exit 1), not an
@@ -110,6 +133,19 @@ let test_makespan_fixture_is_warning () =
     (Diagnostic.has_rule ~min_severity:Diagnostic.Warning "NOC-MAKESPAN" ds);
   Alcotest.(check int) "no errors" 0 (List.length (errors_only ds));
   Alcotest.(check int) "exit 1" 1 (Diagnostic.exit_code ds)
+
+let test_defuse_fixture_conserves_bytes () =
+  (* The NOC-DEFUSE fixture is the same swapped-transfer trick as NOC-EXEC
+     (on another column): byte-clean, value-broken.  The static pass must
+     convict it without executing anything. *)
+  let d = Signoff.fixture "NOC-DEFUSE" in
+  let name, coll, plan =
+    List.find (fun (n, _, _) -> n = "all-reduce.col2") d.Signoff.plans
+  in
+  Alcotest.(check int) "NOC-BYTES still clean" 0
+    (List.length (errors_only (Noc_rules.conservation ~subject:name coll plan)));
+  Alcotest.(check bool) "NOC-DEFUSE convicts statically" true
+    (errors_only (Static.defuse ~subject:name coll plan) <> [])
 
 let test_exec_fixture_conserves_bytes () =
   (* The canonical NOC-EXEC fixture is invisible to the static rules: the
@@ -305,6 +341,181 @@ let prop_exec_catches_swapped_src =
            (Noc_rules.All_reduce { group; bytes })
            mutated))
 
+(* --- Static dataflow analyses ------------------------------------------------ *)
+
+let max_context = 65536
+
+let static_clean coll plan =
+  errors_only
+    (Static.check_plan ~subject:"p" ~config:Hnlpu_model.Config.gpt_oss_120b
+       ~max_context coll plan)
+  = []
+
+let col0_broadcast = Noc_rules.Broadcast { root = 0; group = Topology.col_group 0; bytes = 64 }
+
+let test_deadlock_cycle_reported () =
+  (* A same-step forwarding ring among three unwritten chips: nobody can
+     start; the diagnostic names the cycle path. *)
+  let t src dst = { Schedule.src; dst; bytes = 64 } in
+  let plan = [ [ t 4 8; t 8 12; t 12 4 ] ] in
+  match errors_only (Static.deadlock ~subject:"p" col0_broadcast plan) with
+  | [ d ] ->
+    Alcotest.(check bool) "cycle path in message" true
+      (Thelp.contains d.Diagnostic.message "4->8"
+      && Thelp.contains d.Diagnostic.message "waits on")
+  | ds -> Alcotest.failf "expected one NOC-DEADLOCK error, got %d" (List.length ds)
+
+let test_deadlock_chain_is_not_cycle () =
+  (* Same shape minus the closing edge: an (invalid) forward chain is a
+     def-use violation, not a deadlock. *)
+  let t src dst = { Schedule.src; dst; bytes = 64 } in
+  let plan = [ [ t 4 8; t 8 12 ] ] in
+  Alcotest.(check int) "no deadlock" 0
+    (List.length (errors_only (Static.deadlock ~subject:"p" col0_broadcast plan)));
+  Alcotest.(check bool) "but read-before-write flagged" true
+    (errors_only (Static.defuse ~subject:"p" col0_broadcast plan) <> [])
+
+let test_defuse_unwritten_read () =
+  (* A scatter where a peer forwards before the root sent it anything. *)
+  let coll =
+    Noc_rules.Scatter { root = 15; group = Topology.row_group 3; shard_bytes = 64 }
+  in
+  let plan = [ [ { Schedule.src = 12; dst = 13; bytes = 64 } ] ] in
+  Alcotest.(check bool) "never-written read flagged" true
+    (List.exists
+       (fun d -> Thelp.contains d.Diagnostic.message "never-written")
+       (errors_only (Static.defuse ~subject:"p" coll plan)))
+
+let test_defuse_double_overwrite_race () =
+  let t dst = { Schedule.src = 0; dst; bytes = 64 } in
+  (* Two same-step broadcast deliveries into chip 4's slot. *)
+  let plan = [ [ t 4; t 4; t 8; t 12 ] ] in
+  Alcotest.(check bool) "write race flagged" true
+    (List.exists
+       (fun d -> Thelp.contains d.Diagnostic.message "race")
+       (errors_only (Static.defuse ~subject:"p" col0_broadcast plan)))
+
+let test_defuse_dead_transfer_warning () =
+  (* A canonical star reduce plus a gratuitous same-step peer-to-peer copy:
+     bytes-visible, value-correct (transfers read start-of-step state), but
+     the copy reaches no required chip — a dead transfer, Warning only. *)
+  let group = Topology.row_group 0 in
+  let coll = Noc_rules.Reduce { root = 0; group; bytes = 64 } in
+  let plan =
+    match Schedule.reduce ~root:0 ~group ~bytes:64 with
+    | [ step ] -> [ step @ [ { Schedule.src = 1; dst = 2; bytes = 64 } ] ]
+    | p -> p
+  in
+  let ds = Static.defuse ~subject:"p" coll plan in
+  Alcotest.(check int) "no errors" 0 (List.length (errors_only ds));
+  Alcotest.(check bool) "dead transfer warned" true
+    (List.exists
+       (fun d ->
+         d.Diagnostic.severity = Diagnostic.Warning
+         && Thelp.contains d.Diagnostic.message "dead transfer")
+       ds)
+
+let test_buf_live_bands () =
+  let config = Hnlpu_model.Config.gpt_oss_120b in
+  let headroom = Static.headroom_bytes config ~max_context in
+  Alcotest.(check bool) "headroom positive at 64K" true (headroom > 0);
+  (* One transfer 0 -> 4 of B bytes peaks each endpoint at 2B (working copy
+     + staging); pick B per band. *)
+  let check_band name bytes want =
+    let plan = [ [ { Schedule.src = 0; dst = 4; bytes } ] ] in
+    let ds =
+      Static.buffer_liveness ~subject:name ~config ~max_context plan
+    in
+    match ds with
+    | [ d ] -> Alcotest.(check bool) name true (d.Diagnostic.severity = want)
+    | _ -> Alcotest.failf "%s: expected one diagnostic" name
+  in
+  check_band "tiny payload is Info" 4096 Diagnostic.Info;
+  check_band "94%% of headroom is a Warning" (headroom * 47 / 100) Diagnostic.Warning;
+  check_band "2x headroom is an Error" headroom Diagnostic.Error
+
+let test_det_lint_hazards () =
+  let module E = Hnlpu_system.Execution in
+  let clean = Static.determinism ~subject:"e" E.deterministic in
+  Alcotest.(check int) "deterministic config is clean" 0
+    (List.length (errors_only clean));
+  Alcotest.(check bool) "audited at Info" true
+    (List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Info) clean);
+  let hazard name e =
+    Alcotest.(check bool) name true
+      (errors_only (Static.determinism ~subject:"e" e) <> [])
+  in
+  hazard "wall-clock seed"
+    { E.deterministic with E.workload_seed = E.Wall_clock };
+  hazard "completion-order merge"
+    { E.deterministic with E.sink_merge = E.Completion_order };
+  hazard "hash-order export"
+    { E.deterministic with E.export_order = E.Hash_order }
+
+let test_static_raw_plan_skipped () =
+  (* Raw plans declare no payload semantics: deadlock assumes every
+     endpoint is a producer and def-use is skipped — Info only. *)
+  let plan = Schedule.all_chip_all_reduce ~bytes:8192 in
+  Alcotest.(check bool) "info only" true
+    (List.for_all
+       (fun d -> d.Diagnostic.severity = Diagnostic.Info)
+       (Static.deadlock ~subject:"p" Noc_rules.Raw plan
+       @ Static.defuse ~subject:"p" Noc_rules.Raw plan))
+
+(* Every canonical Schedule generator passes every static pass, across all
+   group shapes (the acceptance-criteria property). *)
+let prop_static_passes_canonical_generators =
+  QCheck.Test.make
+    ~name:"every canonical generator passes all static passes on every shape"
+    ~count:100 group_arb
+    (fun shape ->
+      let group = group_of shape in
+      let root = List.fold_left min max_int group in
+      let bytes = 4096 in
+      List.for_all
+        (fun (coll, plan) -> static_clean coll plan)
+        [
+          ( Noc_rules.Reduce { root; group; bytes },
+            Schedule.reduce ~root ~group ~bytes );
+          ( Noc_rules.Broadcast { root; group; bytes },
+            Schedule.broadcast ~root ~group ~bytes );
+          ( Noc_rules.All_reduce { group; bytes },
+            Schedule.all_reduce ~group ~bytes );
+          ( Noc_rules.All_gather { group; shard_bytes = bytes },
+            Schedule.all_gather ~group ~shard_bytes:bytes );
+          ( Noc_rules.Scatter { root; group; shard_bytes = bytes },
+            Schedule.scatter ~root ~group ~shard_bytes:bytes );
+          (Noc_rules.Raw, Schedule.all_chip_all_reduce ~bytes);
+        ])
+
+(* Permuting the steps of a canonical all-reduce either stays correct (a
+   2-chip group is symmetric) or breaks it — and whenever the dynamic
+   NOC-EXEC cross-check convicts the permuted plan, the static passes
+   convict it too, and vice versa.  Static admission never waves through a
+   plan that execution would reject. *)
+let prop_permuted_steps_static_matches_exec =
+  QCheck.Test.make
+    ~name:"step-permuted all_reduce: static verdict == NOC-EXEC verdict"
+    ~count:100
+    QCheck.(pair group_arb bool)
+    (fun (shape, swap) ->
+      let group = group_of shape in
+      let bytes = 1024 in
+      let coll = Noc_rules.All_reduce { group; bytes } in
+      let plan =
+        match (Schedule.all_reduce ~group ~bytes, swap) with
+        | [ s0; s1 ], true -> [ s1; s0 ]
+        | plan, _ -> plan
+      in
+      let static_bad =
+        errors_only
+          (Static.deadlock ~subject:"p" coll plan
+          @ Static.defuse ~subject:"p" coll plan)
+        <> []
+      in
+      let exec_bad = errors_only (Noc_rules.execution ~subject:"p" coll plan) <> [] in
+      static_bad = exec_bad)
+
 let test_all_chip_all_reduce_raw_clean () =
   let plan = Schedule.all_chip_all_reduce ~bytes:8192 in
   Alcotest.(check int) "links and ports clean" 0
@@ -343,6 +554,8 @@ let test_bundle_roundtrip () =
     (d.Signoff.plans = reference.Signoff.plans);
   Alcotest.(check bool) "stage map survives" true
     (d.Signoff.stage_map = reference.Signoff.stage_map);
+  Alcotest.(check bool) "execution record survives" true
+    (d.Signoff.execution = reference.Signoff.execution);
   Alcotest.(check int) "clean after round-trip" 0
     (Diagnostic.exit_code (Signoff.check d))
 
@@ -352,6 +565,15 @@ let test_bundle_seeded_violation_survives_disk () =
   let ds = Signoff.check (Bundle.load dir) in
   Alcotest.(check bool) "NOC-EXEC fires from disk" true
     (Diagnostic.has_rule ~min_severity:Diagnostic.Error "NOC-EXEC" ds)
+
+let test_bundle_det_lint_survives_disk () =
+  (* The wall-clock seed is carried by the manifest's workload-seed key, so
+     the determinism lint must convict the bundle after a disk round-trip. *)
+  let dir = "bundle-det-lint" in
+  ignore (Bundle.export ~dir (Signoff.fixture "DET-LINT"));
+  let ds = Signoff.check (Bundle.load dir) in
+  Alcotest.(check bool) "DET-LINT fires from disk" true
+    (Diagnostic.has_rule ~min_severity:Diagnostic.Error "DET-LINT" ds)
 
 let test_bundle_missing_rejected () =
   Alcotest.(check bool) "missing directory rejected" true
@@ -451,6 +673,8 @@ let () =
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "report" `Quick test_report_renders;
           Alcotest.test_case "json" `Quick test_json_renders;
+          Alcotest.test_case "normalize dedupes and orders" `Quick
+            test_normalize_dedupes_and_orders;
         ] );
       ( "reference",
         [
@@ -464,6 +688,8 @@ let () =
              test_rules_all_have_fixtures
         :: Alcotest.test_case "makespan fixture is a warning" `Quick
              test_makespan_fixture_is_warning
+        :: Alcotest.test_case "defuse fixture conserves bytes" `Quick
+             test_defuse_fixture_conserves_bytes
         :: Alcotest.test_case "exec fixture conserves bytes" `Quick
              test_exec_fixture_conserves_bytes
         :: fixture_cases );
@@ -472,6 +698,8 @@ let () =
           Alcotest.test_case "reference round-trips" `Quick test_bundle_roundtrip;
           Alcotest.test_case "seeded violation survives disk" `Quick
             test_bundle_seeded_violation_survives_disk;
+          Alcotest.test_case "det lint survives disk" `Quick
+            test_bundle_det_lint_survives_disk;
           Alcotest.test_case "missing bundle rejected" `Quick
             test_bundle_missing_rejected;
           Alcotest.test_case "bad manifest rejected" `Quick
@@ -498,6 +726,26 @@ let () =
           prop_all_reduce_verifies; prop_all_gather_verifies;
           prop_dropped_transfer_flagged; prop_wrong_link_flagged;
           prop_exec_passes_on_canonical; prop_exec_catches_swapped_src;
+        ];
+      ( "static rules",
+        [
+          Alcotest.test_case "deadlock cycle reported" `Quick
+            test_deadlock_cycle_reported;
+          Alcotest.test_case "chain is not a cycle" `Quick
+            test_deadlock_chain_is_not_cycle;
+          Alcotest.test_case "unwritten read" `Quick test_defuse_unwritten_read;
+          Alcotest.test_case "double-overwrite race" `Quick
+            test_defuse_double_overwrite_race;
+          Alcotest.test_case "dead transfer warns" `Quick
+            test_defuse_dead_transfer_warning;
+          Alcotest.test_case "buffer liveness bands" `Quick test_buf_live_bands;
+          Alcotest.test_case "determinism hazards" `Quick test_det_lint_hazards;
+          Alcotest.test_case "raw plan skipped" `Quick test_static_raw_plan_skipped;
+        ] );
+      qsuite "static properties"
+        [
+          prop_static_passes_canonical_generators;
+          prop_permuted_steps_static_matches_exec;
         ];
       ( "system rules",
         [
