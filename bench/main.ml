@@ -409,6 +409,11 @@ let par_sweeps : (string * int * (int -> float * (unit -> string))) list =
 let par_report ?(path = "BENCH_par.json") () =
   let domains = Hnlpu.Par.default_domains () in
   let module J = Hnlpu.Obs.Json in
+  (* Warm the shared pool before any timed row: domain spawn (and the
+     workers' first minor-heap growth) would otherwise all land in the
+     first parallel measurement. *)
+  let warm_pool = Hnlpu.Par.shared ~domains () in
+  Hnlpu.Par.run_tasks warm_pool ~tasks:(2 * domains) (fun _ -> ());
   let rows =
     List.map
       (fun (name, points, run) ->

@@ -33,7 +33,15 @@ let jobs_arg =
            or the machine's recommended domain count).  Results are \
            byte-identical for every width.")
 
-let set_jobs = function None -> () | Some j -> Par.set_default_domains j
+let set_jobs jobs =
+  (* Validate HNLPU_DOMAINS up front even when this invocation happens not
+     to fan out (1-point sweeps shortcut past width resolution): a typo'd
+     width should fail loudly and cleanly, not as an uncaught exception
+     halfway through a run. *)
+  (try ignore (Par.env_domains ()) with Invalid_argument msg ->
+    prerr_endline ("hnlpu: " ^ msg);
+    exit 2);
+  match jobs with None -> () | Some j -> Par.set_default_domains j
 
 (* --- tables ----------------------------------------------------------- *)
 

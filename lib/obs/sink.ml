@@ -1,21 +1,26 @@
-type t = { ring : Event.t Ring.t; metrics : Metrics.t }
+type t = { ring : Event.t Ring.t; metrics : Metrics.t; record_events : bool }
 
-let create ?(capacity = 65536) () =
-  { ring = Ring.create ~capacity; metrics = Metrics.create () }
+let create ?(capacity = 65536) ?(events = true) () =
+  { ring = Ring.create ~capacity; metrics = Metrics.create (); record_events = events }
 
 let metrics t = t.metrics
+
+let events_enabled t = t.record_events
 
 let span ?(cat = "") ?(args = []) t ~track ~name ~start_s ~dur_s =
   if Float.is_nan dur_s || dur_s < 0.0 || dur_s = infinity then
     invalid_arg
       (Printf.sprintf "Sink.span: bad duration %g for %S" dur_s name);
-  Ring.push t.ring (Event.Span { track; name; cat; ts_s = start_s; dur_s; args })
+  if t.record_events then
+    Ring.push t.ring (Event.Span { track; name; cat; ts_s = start_s; dur_s; args })
 
 let instant ?(cat = "") ?(args = []) t ~track ~name ~ts_s =
-  Ring.push t.ring (Event.Instant { track; name; cat; ts_s; args })
+  if t.record_events then
+    Ring.push t.ring (Event.Instant { track; name; cat; ts_s; args })
 
 let sample t ~track ~name ~ts_s value =
-  Ring.push t.ring (Event.Counter { track; name; ts_s; value });
+  if t.record_events then
+    Ring.push t.ring (Event.Counter { track; name; ts_s; value });
   Metrics.set t.metrics name value
 
 let merge_into ~into src =

@@ -9,10 +9,20 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** A fresh sink retaining at most [capacity] (default 65,536) events. *)
+val create : ?capacity:int -> ?events:bool -> unit -> t
+(** A fresh sink retaining at most [capacity] (default 65,536) events.
+
+    [~events:false] makes a {b counters-only} sink: {!span}, {!instant}
+    and the timeline half of {!sample} become no-ops (no event record is
+    ever allocated) while the {!metrics} registry keeps aggregating.
+    Parallel sweeps use this for their private per-task sinks when the
+    caller's sink is itself counters-only, so per-point span records are
+    never built just for a merge to discard them. *)
 
 val metrics : t -> Metrics.t
+
+val events_enabled : t -> bool
+(** [false] for a counters-only sink (created with [~events:false]). *)
 
 val span :
   ?cat:string -> ?args:(string * Event.arg) list -> t ->

@@ -12,7 +12,9 @@
 
    2. {b No oversubscription}: one long-lived pool of [j - 1] worker
       domains (the caller is the j-th participant), reused across calls
-      and resized only when the requested width changes.
+      and resized only when the requested width changes.  The shared pool
+      registers an [at_exit] shutdown, so worker domains are always
+      joined.
 
    3. {b Nesting safety}: a task that itself calls into this module runs
       its inner region sequentially (detected via a domain-local flag), so
@@ -20,12 +22,19 @@
 
 type job = Run of (unit -> unit) | Quit
 
+(* One record, shared by the workers (which capture it at spawn) and every
+   caller.  [workers] is mutable and set right after spawning precisely so
+   both sides see the same record — an earlier version built the workers
+   first and returned [{ pool with workers }], a *copy*, so any mutable
+   state the workers wrote (or any future liveness flag they might read)
+   was on a record no caller ever saw. *)
 type pool = {
-  workers : unit Domain.t array;
+  mutable workers : unit Domain.t array;
   inbox : job Queue.t;
   m : Mutex.t;
   nonempty : Condition.t;
   mutable live : bool;
+  mutable started : int;  (* workers that have entered their loop *)
 }
 
 (* Set on worker domains: inner parallel regions degrade to sequential. *)
@@ -41,15 +50,17 @@ let rec worker_loop pool =
   match job with
   | Quit -> ()
   | Run f ->
-    (* Task closures trap their own exceptions (see [run_tasks]); this
-       catch only keeps a worker alive against instrumentation bugs. *)
-    (try f () with _ -> ());
+    (* No blanket [try _ with _ -> ()] here: [run_tasks] traps per-task
+       exceptions itself, so anything escaping [f] is a runtime
+       catastrophe (Out_of_memory / Stack_overflow in the distribution
+       bookkeeping).  Swallowing it would silently corrupt the region;
+       instead it kills this worker and re-surfaces from [Domain.join]
+       when the pool shuts down. *)
+    f ();
     worker_loop pool
 
 let create ?(domains = 0) () =
   if domains < 1 then invalid_arg "Par.create: domains must be >= 1";
-  (* Two-phase start: build the record first, then spawn workers that
-     capture it. *)
   let pool =
     {
       workers = [||];
@@ -57,17 +68,28 @@ let create ?(domains = 0) () =
       m = Mutex.create ();
       nonempty = Condition.create ();
       live = true;
+      started = 0;
     }
   in
-  let workers =
+  pool.workers <-
     Array.init (domains - 1) (fun _ ->
         Domain.spawn (fun () ->
             Domain.DLS.set on_worker true;
-            worker_loop pool))
-  in
-  { pool with workers }
+            Mutex.lock pool.m;
+            pool.started <- pool.started + 1;
+            Mutex.unlock pool.m;
+            worker_loop pool));
+  pool
 
 let size pool = Array.length pool.workers + 1
+
+let live pool = pool.live
+
+let spawned_workers pool =
+  Mutex.lock pool.m;
+  let n = pool.started in
+  Mutex.unlock pool.m;
+  n
 
 let submit pool ~copies job =
   Mutex.lock pool.m;
@@ -88,36 +110,54 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* [f] must not raise (callers wrap task bodies into [result]s). *)
 let run_tasks pool ~tasks f =
   if tasks > 0 then begin
+    if not pool.live then invalid_arg "Par.run_tasks: pool is shut down";
     if Array.length pool.workers = 0 || tasks = 1 || Domain.DLS.get on_worker
     then
       for i = 0 to tasks - 1 do
         f i
       done
     else begin
+      let participants = Array.length pool.workers + 1 in
       let next = Atomic.make 0 in
       let completed = Atomic.make 0 in
       let done_m = Mutex.create () and all_done = Condition.create () in
-      (* Chunked distribution: coarse enough to amortize the atomic per
-         chunk, fine enough (4 chunks per participant) to balance skewed
-         task costs — sweep points are rarely uniform. *)
-      let chunk = max 1 (tasks / ((Array.length pool.workers + 1) * 4)) in
+      (* First task failure by *index* (not completion time), so the
+         re-raise below is deterministic under any interleaving. *)
+      let fail_m = Mutex.create () in
+      let failure = ref None in
+      let note i e bt =
+        Mutex.lock fail_m;
+        (match !failure with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> failure := Some (i, e, bt));
+        Mutex.unlock fail_m
+      in
       let drain () =
+        (* Guided self-scheduling: each grab takes half an equal share of
+           the *remaining* work, so early chunks are coarse (one atomic
+           amortized over many tasks) and the tail degrades to single
+           tasks, absorbing skewed per-task costs — sweep points are
+           rarely uniform.  Chunk boundaries never affect results: each
+           task writes only its own index slot. *)
         let rec go () =
-          let start = Atomic.fetch_and_add next chunk in
-          if start < tasks then begin
-            let stop = min tasks (start + chunk) in
-            for i = start to stop - 1 do
-              f i;
-              if Atomic.fetch_and_add completed 1 = tasks - 1 then begin
-                Mutex.lock done_m;
-                Condition.signal all_done;
-                Mutex.unlock done_m
-              end
-            done;
-            go ()
+          let remaining = tasks - Atomic.get next in
+          if remaining > 0 then begin
+            let chunk = max 1 (remaining / (2 * participants)) in
+            let start = Atomic.fetch_and_add next chunk in
+            if start < tasks then begin
+              let stop = min tasks (start + chunk) in
+              for i = start to stop - 1 do
+                (try f i with e -> note i e (Printexc.get_raw_backtrace ()));
+                if Atomic.fetch_and_add completed 1 = tasks - 1 then begin
+                  Mutex.lock done_m;
+                  Condition.signal all_done;
+                  Mutex.unlock done_m
+                end
+              done;
+              go ()
+            end
           end
         in
         go ()
@@ -128,7 +168,10 @@ let run_tasks pool ~tasks f =
       while Atomic.get completed < tasks do
         Condition.wait all_done done_m
       done;
-      Mutex.unlock done_m
+      Mutex.unlock done_m;
+      match !failure with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
     end
   end
 
@@ -140,9 +183,18 @@ let env_domains () =
   match Sys.getenv_opt "HNLPU_DOMAINS" with
   | None -> None
   | Some s ->
-    (match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some n
-    | _ -> None)
+    let s = String.trim s in
+    if s = "" then None
+    else
+      (match int_of_string_opt s with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+        (* A malformed width used to fall through silently to the
+           recommended count — a typo'd "HNLPU_DOMAINS=0" or "=four"
+           would quietly run at full width. *)
+        invalid_arg
+          (Printf.sprintf
+             "HNLPU_DOMAINS must be a positive integer, got %S" s))
 
 let set_default_domains j =
   if j < 1 then invalid_arg "Par.set_default_domains: j must be >= 1";
@@ -156,28 +208,33 @@ let default_domains () =
     | Some j -> j
     | None -> max 1 (Domain.recommended_domain_count ()))
 
-let shared : (int * pool) option ref = ref None
+let shared_state : (int * pool) option ref = ref None
+let exit_hook_registered = ref false
 
 let shared_pool j =
-  match !shared with
+  match !shared_state with
   | Some (width, pool) when width = j && pool.live -> pool
   | previous ->
     (match previous with Some (_, pool) -> shutdown pool | None -> ());
     let pool = create ~domains:j () in
-    shared := Some (j, pool);
+    shared_state := Some (j, pool);
+    if not !exit_hook_registered then begin
+      exit_hook_registered := true;
+      (* Always join worker domains on process exit, whatever width the
+         pool last ran at. *)
+      at_exit (fun () ->
+          match !shared_state with
+          | Some (_, pool) -> shutdown pool
+          | None -> ())
+    end;
     pool
 
-(* --- Order-preserving combinators --------------------------------------- *)
+let shared ?domains () =
+  let j = match domains with Some j -> j | None -> default_domains () in
+  if j < 1 then invalid_arg "Par.shared: domains must be >= 1";
+  shared_pool j
 
-let collect results =
-  (* Index-order reduction; the first task failure (by index, not by
-     completion time) is the one re-raised. *)
-  Array.map
-    (function
-      | Some (Ok v) -> v
-      | Some (Error e) -> raise e
-      | None -> assert false)
-    results
+(* --- Order-preserving combinators --------------------------------------- *)
 
 let parallel_init ?domains n f =
   if n < 0 then invalid_arg "Par.parallel_init: negative length";
@@ -186,9 +243,10 @@ let parallel_init ?domains n f =
   if j = 1 || n <= 1 || Domain.DLS.get on_worker then Array.init n f
   else begin
     let results = Array.make n None in
-    run_tasks (shared_pool j) ~tasks:n (fun i ->
-        results.(i) <- Some (try Ok (f i) with e -> Error e));
-    collect results
+    (* If any task raises, [run_tasks] completes the region and re-raises
+       the lowest-indexed failure, so no slot is read half-filled. *)
+    run_tasks (shared_pool j) ~tasks:n (fun i -> results.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) results
   end
 
 let parallel_map ?domains f xs =

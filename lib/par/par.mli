@@ -23,7 +23,13 @@
 
 val default_domains : unit -> int
 (** Resolved pool width: [-j] override, else [HNLPU_DOMAINS], else
-    [Domain.recommended_domain_count] (always at least 1). *)
+    [Domain.recommended_domain_count] (always at least 1).  Raises
+    [Invalid_argument] when [HNLPU_DOMAINS] is set but not a positive
+    integer — a malformed width must not silently run at full width. *)
+
+val env_domains : unit -> int option
+(** The [HNLPU_DOMAINS] override alone: [None] when unset or blank.
+    Raises [Invalid_argument] on a malformed value ("0", "four", "-2"). *)
 
 val set_default_domains : int -> unit
 (** Force the default width (the CLI's [-j N]).  Raises
@@ -48,26 +54,50 @@ val parallel_sweep :
 (** {1 Explicit pools}
 
     The combinators above share one lazily-created pool sized to the
-    requested width (resized when the width changes).  Long-running hosts
-    that want explicit lifecycle control can manage their own. *)
+    requested width (resized when the width changes, with the old pool's
+    workers joined).  The shared pool registers an [at_exit] shutdown the
+    first time it is created, so worker domains are always joined at
+    process exit.  Long-running hosts that want explicit lifecycle control
+    can manage their own. *)
 
 type pool
 
 val create : ?domains:int -> unit -> pool
 (** [create ~domains:j] spawns [j - 1] worker domains; the calling domain
-    is the j-th participant.  Raises [Invalid_argument] when [j < 1]. *)
+    is the j-th participant.  The returned record is the very record the
+    workers captured — callers and workers share all mutable pool state.
+    Raises [Invalid_argument] when [j < 1]. *)
 
 val size : pool -> int
 (** Total participants including the caller (i.e. [j]). *)
 
+val live : pool -> bool
+(** [false] once {!shutdown} has run. *)
+
+val spawned_workers : pool -> int
+(** Workers that have entered their service loop so far (at most
+    [size pool - 1]; spawning is asynchronous).  Counted on the shared
+    pool record itself — the regression probe for the historical bug where
+    [create] returned a copy of the record the workers captured. *)
+
+val shared : ?domains:int -> unit -> pool
+(** The process-wide shared pool at the given width (default
+    {!default_domains}), creating or resizing it as needed.  Two calls at
+    the same width return the physically same pool.  Main-domain only. *)
+
 val run_tasks : pool -> tasks:int -> (int -> unit) -> unit
 (** Low-level entry: evaluate [f 0 .. f (tasks-1)], each exactly once,
-    distributed in chunks; returns when all completed.  [f] must not
-    raise.  From inside a worker (nested region) it degrades to a
-    sequential loop. *)
+    distributed in guided self-scheduled chunks (coarse first grabs,
+    single-task tail); returns when all completed.  If any task raises,
+    the region still runs every task, then re-raises the lowest-indexed
+    failure with its backtrace.  From inside a worker (nested region) it
+    degrades to a sequential loop.  Raises [Invalid_argument] on a pool
+    that was shut down. *)
 
 val shutdown : pool -> unit
-(** Join all workers.  Idempotent. *)
+(** Join all workers.  Idempotent.  Re-raises the exception of any worker
+    that died of a runtime catastrophe (e.g. [Out_of_memory]) instead of
+    swallowing it. *)
 
 val with_pool : ?domains:int -> (pool -> 'a) -> 'a
 (** Scoped [create]/[shutdown]. *)

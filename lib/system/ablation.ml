@@ -162,8 +162,10 @@ let slack_sweep rng ?domains ?(in_features = 2880) ?(trials = 200) () =
     (fun (slack, rng) ->
       let capacity = int_of_float (ceil (float_of_int balanced *. slack)) in
       let failures = ref 0 in
+      (* Per-task scratch, reset per trial — not reallocated. *)
+      let counts = Array.make regions 0 in
       for _ = 1 to trials do
-        let counts = Array.make regions 0 in
+        Array.fill counts 0 regions 0;
         for _ = 1 to in_features do
           let c = Hnlpu_util.Rng.int rng regions in
           counts.(c) <- counts.(c) + 1

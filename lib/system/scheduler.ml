@@ -28,6 +28,12 @@ let workload rng ~n ~rate_per_s ~mean_prefill ~mean_decode =
       let draw mean = 1 + int_of_float (Rng.exponential rng (1.0 /. float_of_int mean)) in
       { arrival_s = !t; prefill_tokens = draw mean_prefill; decode_tokens = draw mean_decode })
 
+type token_kind = Prefill | Decode
+
+(* [ev_prefill]/[ev_decode] are this sequence's completion events, built
+   once at arrival and reused for every token — the simulator pushes one
+   completion per simulated token, and allocating a fresh [Complete] each
+   time was measurable minor-heap traffic under the domain pool. *)
 type seq = {
   req : request;
   id : int;
@@ -38,16 +44,44 @@ type seq = {
   mutable injected_first : float option;  (** First injection time. *)
   mutable first_token : float option;     (** First decode completion. *)
   mutable prefill_done : float option;    (** Last prefill-token completion. *)
+  mutable ev_prefill : event;
+  mutable ev_decode : event;
 }
 
-type token_kind = Prefill | Decode
+and event = Arrival of seq | Complete of seq * token_kind | Wakeup
 
-type event = Arrival of seq | Complete of seq * token_kind | Wakeup
+let dummy_seq =
+  (* Filler for the queues' and heap's freed slots; never injected. *)
+  {
+    req = { arrival_s = 0.0; prefill_tokens = 1; decode_tokens = 1 };
+    id = -1;
+    prefill_remaining = 0;
+    prefill_inflight = 0;
+    decode_remaining = 0;
+    position = 0;
+    injected_first = None;
+    first_token = None;
+    prefill_done = None;
+    ev_prefill = Wakeup;
+    ev_decode = Wakeup;
+  }
 
 let saturated_throughput ?tech ?(context = 2048) config =
   Perf.throughput_tokens_per_s ?tech config ~context
 
 let obs_track = Hnlpu_obs.Event.track ~process:"scheduler"
+
+(* Simulation clock state.  All fields are float, so the record is flat
+   (unboxed storage) and the per-event stores allocate nothing. *)
+type clock = {
+  mutable occupancy : float;
+  mutable last_time : float;
+  mutable makespan : float;
+  mutable next_inject : float;
+}
+
+let fresh_clock () =
+  { occupancy = 0.0; last_time = 0.0; makespan = 0.0; next_inject = 0.0 }
 
 let capacity_profile ~slots failures =
   (* Presorted prefix sums: O(log failures) per query instead of folding
@@ -102,38 +136,44 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
     slot_failures;
   let capacity_at = capacity_profile ~slots slot_failures in
   let ii = latency /. float_of_int slots in
-  let events : event Heap.t = Heap.create () in
+  let events : event Heap.t = Heap.create ~dummy:Wakeup () in
   List.iteri
     (fun id r ->
       if r.arrival_s < 0.0 || r.prefill_tokens < 1 || r.decode_tokens < 1 then
         invalid_arg "Scheduler.simulate: malformed request";
-      Heap.push events ~priority:r.arrival_s
-        (Arrival
-           {
-             req = r;
-             id;
-             prefill_remaining = r.prefill_tokens;
-             prefill_inflight = 0;
-             decode_remaining = r.decode_tokens;
-             position = 0;
-             injected_first = None;
-             first_token = None;
-             prefill_done = None;
-           }))
+      let s =
+        {
+          req = r;
+          id;
+          prefill_remaining = r.prefill_tokens;
+          prefill_inflight = 0;
+          decode_remaining = r.decode_tokens;
+          position = 0;
+          injected_first = None;
+          first_token = None;
+          prefill_done = None;
+          ev_prefill = Wakeup;
+          ev_decode = Wakeup;
+        }
+      in
+      s.ev_prefill <- Complete (s, Prefill);
+      s.ev_decode <- Complete (s, Decode);
+      Heap.push events ~priority:r.arrival_s (Arrival s))
     requests;
   List.iter
     (fun (t, _) -> Heap.push events ~priority:t Wakeup)
     slot_failures;
-  let decode_queue : seq Queue.t = Queue.create () in
-  let prefill_queue : seq Queue.t = Queue.create () in
+  let decode_queue : seq Fifo.t = Fifo.create ~dummy:dummy_seq () in
+  let prefill_queue : seq Fifo.t = Fifo.create ~dummy:dummy_seq () in
   let busy = ref 0 in
-  let next_inject = ref 0.0 in
   let completed = ref [] in
   let tokens = ref 0 and decode_tokens_out = ref 0 in
-  let occupancy = ref 0.0 and last_time = ref 0.0 and makespan = ref 0.0 in
+  (* All-float mutable record: the fields store unboxed, where float refs
+     boxed a fresh float on every store — several stores per token. *)
+  let clock = fresh_clock () in
   let advance_clock t =
-    occupancy := !occupancy +. (float_of_int !busy *. (t -. !last_time));
-    last_time := t
+    clock.occupancy <- clock.occupancy +. (float_of_int !busy *. (t -. clock.last_time));
+    clock.last_time <- t
   in
   (* Counter-series samples, emitted only on value changes so the timeline
      stays readable; everything below is skipped when [obs] is absent. *)
@@ -144,7 +184,7 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
     | Some o ->
       let module Sink = Hnlpu_obs.Sink in
       let track = obs_track ~thread:"load" in
-      let q = Queue.length prefill_queue + Queue.length decode_queue in
+      let q = Fifo.length prefill_queue + Fifo.length decode_queue in
       if q <> !last_queue then begin
         Sink.sample o ~track ~name:"scheduler/queue_depth" ~ts_s:now
           (float_of_int q);
@@ -196,96 +236,97 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
       Hnlpu_obs.Metrics.observe m "scheduler/e2e_s" (finish -. arrival);
       Hnlpu_obs.Metrics.observe m "scheduler/queue_wait_s" (injected -. arrival)
   in
+  (* Hoisted out of [try_inject]: per-call refs (and the recursive [go]
+     closure this loop used to be) were a few words on every event, which
+     adds up at one [try_inject] per event over millions of events. *)
+  let injected_wakeup = ref false in
+  let injecting = ref false in
   let try_inject now =
-    let injected_wakeup = ref false in
+    injected_wakeup := false;
+    injecting := true;
     let capacity = capacity_at now in
-    let rec go () =
-      if
-        !busy < capacity
-        && not (Queue.is_empty decode_queue && Queue.is_empty prefill_queue)
-      then begin
-        if !next_inject > now then begin
-          (* Pipeline entry busy: leave the queues untouched — popping the
-             head and re-pushing it would rotate FIFO order on every
-             stalled injection — and wake up at the slot time. *)
-          if not !injected_wakeup then begin
-            Heap.push events ~priority:!next_inject Wakeup;
-            injected_wakeup := true
-          end
-        end
-        else begin
-          let s, kind =
-            if not (Queue.is_empty decode_queue) then (Queue.pop decode_queue, Decode)
-            else (Queue.pop prefill_queue, Prefill)
-          in
-          (match s.injected_first with
-          | None -> s.injected_first <- Some now
-          | Some _ -> ());
-          (match kind with
-          | Prefill ->
-            s.prefill_remaining <- s.prefill_remaining - 1;
-            s.prefill_inflight <- s.prefill_inflight + 1;
-            (* More prefill tokens of this sequence stay in the queue. *)
-            if s.prefill_remaining > 0 then Queue.push s prefill_queue
-          | Decode -> ());
-          incr busy;
-          next_inject := now +. ii;
-          s.position <- s.position + 1;
-          Heap.push events
-            ~priority:(now +. latency_at s.position)
-            (Complete (s, kind));
-          go ()
-        end
+    while
+      !injecting
+      && !busy < capacity
+      && not (Fifo.is_empty decode_queue && Fifo.is_empty prefill_queue)
+    do
+      if clock.next_inject > now then begin
+        (* Pipeline entry busy: leave the queues untouched — popping the
+           head and re-pushing it would rotate FIFO order on every
+           stalled injection — and wake up at the slot time. *)
+        if not !injected_wakeup then begin
+          Heap.push events ~priority:clock.next_inject Wakeup;
+          injected_wakeup := true
+        end;
+        injecting := false
       end
-    in
-    go ()
-  in
-  let rec loop () =
-    match Heap.pop events with
-    | None -> ()
-    | Some (t, ev) ->
-      advance_clock t;
-      (match ev with
-      | Wakeup -> try_inject t
-      | Arrival s ->
-        Queue.push s prefill_queue;
-        try_inject t
-      | Complete (s, kind) ->
-        decr busy;
-        incr tokens;
-        makespan := t;
+      else begin
+        let s, kind =
+          if not (Fifo.is_empty decode_queue) then (Fifo.pop decode_queue, Decode)
+          else (Fifo.pop prefill_queue, Prefill)
+        in
+        (match s.injected_first with
+        | None -> s.injected_first <- Some now
+        | Some _ -> ());
         (match kind with
         | Prefill ->
-          s.prefill_inflight <- s.prefill_inflight - 1;
-          if s.prefill_remaining = 0 && s.prefill_inflight = 0 then begin
-            s.prefill_done <- Some t;
-            Queue.push s decode_queue
-          end
-        | Decode ->
-          incr decode_tokens_out;
-          if s.first_token = None then s.first_token <- Some t;
-          s.decode_remaining <- s.decode_remaining - 1;
-          if s.decode_remaining > 0 then Queue.push s decode_queue
-          else begin
-            let injected =
-              match s.injected_first with Some x -> x | None -> s.req.arrival_s
-            in
-            completed :=
-              {
-                request = s.req;
-                first_token_s = (match s.first_token with Some x -> x | None -> t);
-                finish_s = t;
-                queue_wait_s = injected -. s.req.arrival_s;
-              }
-              :: !completed;
-            record_completion s ~finish:t
-          end);
-        try_inject t);
-      sample_gauges t;
-      loop ()
+          s.prefill_remaining <- s.prefill_remaining - 1;
+          s.prefill_inflight <- s.prefill_inflight + 1;
+          (* More prefill tokens of this sequence stay in the queue. *)
+          if s.prefill_remaining > 0 then Fifo.push prefill_queue s
+        | Decode -> ());
+        incr busy;
+        clock.next_inject <- now +. ii;
+        s.position <- s.position + 1;
+        Heap.push events
+          ~priority:(now +. latency_at s.position)
+          (match kind with Prefill -> s.ev_prefill | Decode -> s.ev_decode)
+      end
+    done
   in
-  loop ();
-  let makespan = !makespan in
+  while not (Heap.is_empty events) do
+    let t = Heap.min_priority events in
+    let ev = Heap.take_min events in
+    advance_clock t;
+    (match ev with
+    | Wakeup -> try_inject t
+    | Arrival s ->
+      Fifo.push prefill_queue s;
+      try_inject t
+    | Complete (s, kind) ->
+      decr busy;
+      incr tokens;
+      clock.makespan <- t;
+      (match kind with
+      | Prefill ->
+        s.prefill_inflight <- s.prefill_inflight - 1;
+        if s.prefill_remaining = 0 && s.prefill_inflight = 0 then begin
+          s.prefill_done <- Some t;
+          Fifo.push decode_queue s
+        end
+      | Decode ->
+        incr decode_tokens_out;
+        if s.first_token = None then s.first_token <- Some t;
+        s.decode_remaining <- s.decode_remaining - 1;
+        if s.decode_remaining > 0 then Fifo.push decode_queue s
+        else begin
+          let injected =
+            match s.injected_first with Some x -> x | None -> s.req.arrival_s
+          in
+          completed :=
+            {
+              request = s.req;
+              first_token_s = (match s.first_token with Some x -> x | None -> t);
+              finish_s = t;
+              queue_wait_s = injected -. s.req.arrival_s;
+            }
+            :: !completed;
+          record_completion s ~finish:t
+        end);
+      try_inject t);
+    sample_gauges t
+  done;
+  let makespan = clock.makespan in
   let result =
     {
       completed_requests = List.rev !completed;
@@ -295,7 +336,8 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
       throughput_tokens_per_s =
         (if makespan > 0.0 then float_of_int !tokens /. makespan else 0.0);
       mean_slot_occupancy =
-        (if makespan > 0.0 then !occupancy /. (makespan *. float_of_int slots) else 0.0);
+        (if makespan > 0.0 then clock.occupancy /. (makespan *. float_of_int slots)
+         else 0.0);
     }
   in
   (match obs with

@@ -21,17 +21,24 @@ let evaluate ?(seed = 1234) ?(requests = 150) ?(mean_prefill = 256)
     Scheduler.workload rng ~n:requests ~rate_per_s ~mean_prefill ~mean_decode
   in
   let r = Scheduler.simulate ?obs config reqs in
-  (* Both latency arrays in one pass over the completions. *)
+  (* One scratch array serves both percentile queries (sorted in place),
+     instead of two arrays plus a copy per percentile call. *)
   let n = List.length r.Scheduler.completed_requests in
-  let ttft = Array.make n 0.0 and e2e = Array.make n 0.0 in
-  List.iteri
-    (fun i c ->
-      let arrival = c.Scheduler.request.Scheduler.arrival_s in
-      ttft.(i) <- c.Scheduler.first_token_s -. arrival;
-      e2e.(i) <- c.Scheduler.finish_s -. arrival)
-    r.Scheduler.completed_requests;
-  let ttft_p95 = Stats.percentile ttft 0.95 in
-  let e2e_p95 = Stats.percentile e2e 0.95 in
+  let scratch = Array.make (Stdlib.max 1 n) 0.0 in
+  let fill f =
+    List.iteri
+      (fun i c ->
+        scratch.(i) <- f c -. c.Scheduler.request.Scheduler.arrival_s)
+      r.Scheduler.completed_requests
+  in
+  fill (fun c -> c.Scheduler.first_token_s);
+  let ttft_p95 =
+    if n = 0 then nan else Stats.percentile_in_place scratch 0.95
+  in
+  fill (fun c -> c.Scheduler.finish_s);
+  let e2e_p95 =
+    if n = 0 then nan else Stats.percentile_in_place scratch 0.95
+  in
   {
     rate_per_s;
     throughput_tokens_per_s = r.Scheduler.throughput_tokens_per_s;
@@ -47,19 +54,25 @@ let sweep ?seed ?requests ?mean_prefill ?mean_decode ?domains ?obs config obj
     (fun r -> if r <= 0.0 then invalid_arg "Slo.sweep: rates must be positive")
     rates;
   (* Each rate gets a private sink; merging in index order afterwards keeps
-     the combined telemetry identical whatever the domain count. *)
+     the combined telemetry identical whatever the domain count.  The
+     sinks live in an array indexed once per task — [List.nth] here was an
+     O(n^2) walk of a shared list from inside every parallel task.  A
+     counters-only caller sink propagates to the private sinks, so no span
+     records are allocated that the merge would just discard. *)
   let sinks =
     match obs with
-    | None -> []
-    | Some _ -> List.map (fun _ -> Hnlpu_obs.Sink.create ()) rates
+    | None -> [||]
+    | Some parent ->
+      Array.init (List.length rates) (fun _ ->
+          Hnlpu_obs.Sink.create
+            ~events:(Hnlpu_obs.Sink.events_enabled parent)
+            ())
   in
   let tagged = List.mapi (fun i r -> (i, r)) rates in
   let evals =
     Hnlpu_par.Par.parallel_map ?domains
       (fun (i, rate_per_s) ->
-        let obs =
-          match sinks with [] -> None | l -> Some (List.nth l i)
-        in
+        let obs = if Array.length sinks = 0 then None else Some sinks.(i) in
         evaluate ?seed ?requests ?mean_prefill ?mean_decode ?obs config obj
           ~rate_per_s)
       tagged
@@ -67,7 +80,7 @@ let sweep ?seed ?requests ?mean_prefill ?mean_decode ?domains ?obs config obj
   (match obs with
   | None -> ()
   | Some into ->
-    List.iter (fun s -> Hnlpu_obs.Sink.merge_into ~into s) sinks);
+    Array.iter (fun s -> Hnlpu_obs.Sink.merge_into ~into s) sinks);
   evals
 
 let max_rate ?seed ?requests ?(mean_prefill = 256) ?(mean_decode = 128)

@@ -1,0 +1,45 @@
+(* Growable circular-buffer FIFO.  Unlike [Stdlib.Queue] (one heap cell
+   per [push]), steady-state push/pop allocate nothing — the scheduler's
+   prefill/decode queues cycle once per simulated token, and those cells
+   dominated its minor-heap traffic.  Freed slots are overwritten with the
+   dummy so popped values stay collectable. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~dummy () = { data = [||]; head = 0; len = 0; dummy }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let push t v =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let data = Array.make cap' t.dummy in
+    for i = 0 to t.len - 1 do
+      data.(i) <- t.data.((t.head + i) mod cap)
+    done;
+    t.data <- data;
+    t.head <- 0
+  end;
+  t.data.((t.head + t.len) mod Array.length t.data) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Fifo.pop: empty queue";
+  let v = t.data.(t.head) in
+  t.data.(t.head) <- t.dummy;
+  t.head <- (t.head + 1) mod Array.length t.data;
+  t.len <- t.len - 1;
+  v
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) t.dummy;
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,20 @@
+(** Growable circular-buffer FIFO with allocation-free steady-state
+    push/pop (unlike [Stdlib.Queue], which allocates a cell per push).
+    The [dummy] passed at creation fills freed slots so popped values stay
+    collectable. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the tail. *)
+
+val pop : 'a t -> 'a
+(** Dequeue from the head.  Raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit

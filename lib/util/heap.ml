@@ -1,29 +1,37 @@
-type 'a entry = { priority : float; value : 'a }
+(* Two parallel arrays rather than one array of entry records: priorities
+   live in a float array (unboxed storage), so a push allocates nothing
+   once capacity is reached — the event queue of the continuous-batching
+   simulator pushes one entry per simulated token, and entry records plus
+   boxed priorities were a measurable slice of its minor-heap traffic.
 
-(* Slots at index >= n hold None so popped values become collectable: a
-   live entry parked past the end would pin its value for the heap's whole
-   lifetime — a space leak across long simulation runs. *)
-type 'a t = { mutable data : 'a entry option array; mutable n : int }
+   Freed value slots are overwritten with a filler value so popped values
+   become collectable: a live value parked past the end would be pinned
+   for the heap's whole lifetime — a space leak across long simulation
+   runs.  The filler is the [?dummy] given at [create], else the first
+   value ever pushed (which is then pinned; pass [?dummy] on hot paths). *)
 
-let create () = { data = [||]; n = 0 }
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a array;
+  mutable n : int;
+  mutable filler : 'a option;
+}
+
+let create ?dummy () = { prio = [||]; data = [||]; n = 0; filler = dummy }
 
 let is_empty t = t.n = 0
 
 let size t = t.n
 
-let get t i =
-  match t.data.(i) with Some e -> e | None -> assert false
-
-let swap t i j =
-  let tmp = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- tmp
-
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if (get t i).priority < (get t parent).priority then begin
-      swap t i parent;
+    if t.prio.(i) < t.prio.(parent) then begin
+      let p = t.prio.(i) and v = t.data.(i) in
+      t.prio.(i) <- t.prio.(parent);
+      t.data.(i) <- t.data.(parent);
+      t.prio.(parent) <- p;
+      t.data.(parent) <- v;
       sift_up t parent
     end
   end
@@ -31,37 +39,57 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.n && (get t l).priority < (get t !smallest).priority then smallest := l;
-  if r < t.n && (get t r).priority < (get t !smallest).priority then smallest := r;
+  if l < t.n && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.n && t.prio.(r) < t.prio.(!smallest) then smallest := r;
   if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+    let s = !smallest in
+    let p = t.prio.(i) and v = t.data.(i) in
+    t.prio.(i) <- t.prio.(s);
+    t.data.(i) <- t.data.(s);
+    t.prio.(s) <- p;
+    t.data.(s) <- v;
+    sift_down t s
   end
 
 let push t ~priority value =
-  if t.n = Array.length t.data then begin
-    let cap = max 16 (2 * Array.length t.data) in
-    let fresh = Array.make cap None in
-    Array.blit t.data 0 fresh 0 t.n;
-    t.data <- fresh
+  if t.n = Array.length t.prio then begin
+    let filler = match t.filler with
+      | Some v -> v
+      | None ->
+        t.filler <- Some value;
+        value
+    in
+    let cap = max 16 (2 * Array.length t.prio) in
+    let prio = Array.make cap 0.0 and data = Array.make cap filler in
+    Array.blit t.prio 0 prio 0 t.n;
+    Array.blit t.data 0 data 0 t.n;
+    t.prio <- prio;
+    t.data <- data
   end;
-  t.data.(t.n) <- Some { priority; value };
+  t.prio.(t.n) <- priority;
+  t.data.(t.n) <- value;
   t.n <- t.n + 1;
   sift_up t (t.n - 1)
 
-let peek t =
-  if t.n = 0 then None
-  else
-    let e = get t 0 in
-    Some (e.priority, e.value)
+let min_priority t =
+  if t.n = 0 then invalid_arg "Heap.min_priority: empty heap";
+  t.prio.(0)
+
+let take_min t =
+  if t.n = 0 then invalid_arg "Heap.take_min: empty heap";
+  let top = t.data.(0) in
+  t.n <- t.n - 1;
+  t.prio.(0) <- t.prio.(t.n);
+  t.data.(0) <- t.data.(t.n);
+  (match t.filler with Some f -> t.data.(t.n) <- f | None -> ());
+  if t.n > 0 then sift_down t 0;
+  top
+
+let peek t = if t.n = 0 then None else Some (t.prio.(0), t.data.(0))
 
 let pop t =
   if t.n = 0 then None
   else begin
-    let top = get t 0 in
-    t.n <- t.n - 1;
-    t.data.(0) <- t.data.(t.n);
-    t.data.(t.n) <- None;
-    if t.n > 0 then sift_down t 0;
-    Some (top.priority, top.value)
+    let p = t.prio.(0) in
+    Some (p, take_min t)
   end

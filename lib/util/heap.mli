@@ -1,15 +1,30 @@
 (** Minimal binary min-heap keyed by float priority — the event queue of
-    the continuous-batching simulator. *)
+    the continuous-batching simulator.
+
+    Priorities are kept in an unboxed float array, so [push] and
+    {!take_min} allocate nothing once capacity is reached. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?dummy:'a -> unit -> 'a t
+(** [dummy] is the filler written over freed slots so popped values become
+    collectable.  Without it, the first pushed value serves as filler and
+    stays pinned for the heap's lifetime — fine for immediates, pass a
+    [dummy] when values are large. *)
 
 val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 
 val push : 'a t -> priority:float -> 'a -> unit
+
+val min_priority : 'a t -> float
+(** Priority of the minimum element.  Raises [Invalid_argument] when
+    empty. *)
+
+val take_min : 'a t -> 'a
+(** Removes and returns the minimum-priority value without allocating.
+    Raises [Invalid_argument] when empty. *)
 
 val peek : 'a t -> (float * 'a) option
 

@@ -33,20 +33,23 @@ let max t = t.hi
 
 let total t = t.sum
 
-let percentile samples p =
+let percentile_in_place samples p =
   if Float.is_nan p || p < 0.0 || p > 1.0 then
     invalid_arg "Stats.percentile: p out of range";
   if Array.length samples = 0 then nan
   else begin
-  let sorted = Array.copy samples in
-  Array.sort compare sorted;
-  let n = Array.length sorted in
-  let rank = p *. float_of_int (n - 1) in
-  let lo = int_of_float (floor rank) in
-  let hi = Stdlib.min (lo + 1) (n - 1) in
-  let frac = rank -. float_of_int lo in
-  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    (* Float.compare, not polymorphic compare: same ordering (including
+       nan), but the polymorphic path boxes both floats per comparison. *)
+    Array.sort Float.compare samples;
+    let n = Array.length samples in
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (samples.(lo) *. (1.0 -. frac)) +. (samples.(hi) *. frac)
   end
+
+let percentile samples p = percentile_in_place (Array.copy samples) p
 
 let histogram samples ~bins =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";

@@ -325,6 +325,235 @@ let test_sink_merge_preserves_order () =
   Alcotest.(check (list string)) "b appended after a, in order"
     [ "a1"; "b1"; "b2" ] names
 
+(* --- Pool lifecycle -------------------------------------------------------- *)
+
+let wait_for ?(timeout_s = 10.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let test_pool_identity_workers_visible () =
+  (* Regression for the record-copy bug: [create] once returned
+     [{ pool with workers }], so workers mutated a record the caller never
+     saw.  [spawned_workers] counts on the caller's record — it only moves
+     if workers and caller share state. *)
+  let p = Par.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Par.size p);
+  Alcotest.(check bool) "workers report on the caller's record" true
+    (wait_for (fun () -> Par.spawned_workers p = 2));
+  Par.shutdown p
+
+let test_shutdown_quiesces () =
+  let p = Par.create ~domains:4 () in
+  let hits = Array.make 8 0 in
+  Par.run_tasks p ~tasks:8 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each task ran exactly once" (Array.make 8 1) hits;
+  Par.shutdown p;
+  Alcotest.(check bool) "dead after shutdown" false (Par.live p);
+  Alcotest.(check int) "all spawned workers entered and were joined" 3
+    (Par.spawned_workers p);
+  (* Idempotent: a second shutdown must not raise or hang. *)
+  Par.shutdown p;
+  Alcotest.(check bool) "run_tasks on a dead pool is rejected" true
+    (try
+       Par.run_tasks p ~tasks:1 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_shared_pool_persistence () =
+  let p2 = Par.shared ~domains:2 () in
+  let p2' = Par.shared ~domains:2 () in
+  Alcotest.(check bool) "same width returns the physically same pool" true
+    (p2 == p2');
+  Alcotest.(check bool) "shared pool live" true (Par.live p2);
+  let p3 = Par.shared ~domains:3 () in
+  Alcotest.(check bool) "width change builds a new pool" true (not (p3 == p2));
+  Alcotest.(check bool) "old pool joined on resize" false (Par.live p2);
+  Alcotest.(check bool) "resized pool live" true (Par.live p3);
+  Alcotest.(check (list int)) "combinators work after resize" [ 2; 4; 6 ]
+    (Par.parallel_map ~domains:3 (fun x -> x * 2) [ 1; 2; 3 ])
+
+let test_catastrophe_propagates () =
+  (* Worker tasks must not swallow runtime catastrophes: the historical
+     [try f () with _ -> ()] in the worker loop turned these into silently
+     missing results. *)
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Out_of_memory surfaces at j=%d" j)
+        true
+        (try
+           ignore
+             (Par.parallel_map ~domains:j
+                (fun i -> if i = 1 then raise Out_of_memory else i)
+                [ 0; 1; 2; 3 ]);
+           false
+         with Out_of_memory -> true))
+    widths
+
+(* --- HNLPU_DOMAINS parsing -------------------------------------------------- *)
+
+let with_env value f =
+  let old = Sys.getenv_opt "HNLPU_DOMAINS" in
+  Unix.putenv "HNLPU_DOMAINS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      (* [putenv ""] restores unset semantics: [env_domains] treats a blank
+         value as absent. *)
+      Unix.putenv "HNLPU_DOMAINS" (match old with Some v -> v | None -> ""))
+    f
+
+let rejects value =
+  with_env value (fun () ->
+      (try
+         ignore (Par.env_domains ());
+         false
+       with Invalid_argument _ -> true)
+      &&
+      try
+        ignore (Par.default_domains ());
+        false
+      with Invalid_argument _ -> true)
+
+let test_env_domains_malformed_rejected () =
+  Alcotest.(check bool) "\"0\" rejected" true (rejects "0");
+  Alcotest.(check bool) "\"four\" rejected" true (rejects "four");
+  Alcotest.(check bool) "\"-2\" rejected" true (rejects "-2");
+  Alcotest.(check bool) "\"2x\" rejected" true (rejects "2x")
+
+let test_env_domains_valid_and_unset () =
+  with_env "3" (fun () ->
+      Alcotest.(check (option int)) "\"3\" parsed" (Some 3) (Par.env_domains ()));
+  with_env " 4 " (fun () ->
+      Alcotest.(check (option int)) "whitespace trimmed" (Some 4)
+        (Par.env_domains ()));
+  with_env "" (fun () ->
+      Alcotest.(check (option int)) "blank means unset" None (Par.env_domains ());
+      Alcotest.(check bool) "default still resolves" true
+        (Par.default_domains () >= 1))
+
+(* --- Rng: unboxed representation is bit-exact ------------------------------- *)
+
+(* The original boxed-[int64] SplitMix64, kept verbatim as the reference:
+   the production generator now runs on immediate ints (two 32-bit halves)
+   and must reproduce it bit for bit, or every committed experiment table
+   would silently shift. *)
+module Ref_rng = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let create seed = { state = Int64.of_int seed }
+
+  let mix z =
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let next_int64 t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix t.state
+
+  let split t =
+    let seed = next_int64 t in
+    { state = mix seed }
+
+  let derive seed ~stream =
+    let s =
+      mix
+        (Int64.add (Int64.of_int seed)
+           (Int64.mul golden_gamma (Int64.of_int (stream + 1))))
+    in
+    { state = mix s }
+
+  let int t bound =
+    let mask =
+      Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int
+    in
+    mask mod bound
+
+  let float t bound =
+    let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+    bits /. 9007199254740992.0 *. bound
+end
+
+let agree_for_draws rng ref_rng =
+  let ok = ref true in
+  for _ = 1 to 16 do
+    if Rng.next_int64 rng <> Ref_rng.next_int64 ref_rng then ok := false
+  done;
+  List.iter
+    (fun bound -> if Rng.int rng bound <> Ref_rng.int ref_rng bound then ok := false)
+    [ 1; 2; 7; 1000; 1 lsl 30; max_int ];
+  List.iter
+    (fun bound ->
+      if Rng.float rng bound <> Ref_rng.float ref_rng bound then ok := false)
+    [ 1.0; 1e-9; 2048.0 ];
+  !ok
+
+let prop_rng_create_matches_reference =
+  QCheck.Test.make ~name:"Rng.create bit-exact vs boxed-int64 reference" ~count:200
+    QCheck.int
+    (fun seed ->
+      let a = Rng.create seed and b = Ref_rng.create seed in
+      agree_for_draws a b
+      &&
+      (* Splitting must track too: both the child stream and the advanced
+         parent stream. *)
+      let a' = Rng.split a and b' = Ref_rng.split b in
+      agree_for_draws a' b' && agree_for_draws a b)
+
+let prop_rng_derive_matches_reference =
+  QCheck.Test.make ~name:"Rng.derive bit-exact vs boxed-int64 reference" ~count:200
+    QCheck.(pair int (int_range 0 1024))
+    (fun (seed, stream) ->
+      agree_for_draws (Rng.derive seed ~stream) (Ref_rng.derive seed ~stream))
+
+(* --- Counters-only sinks ---------------------------------------------------- *)
+
+let test_counters_only_sink () =
+  let track = Obs.Event.track ~process:"p" ~thread:"t" in
+  let s = Obs.Sink.create ~events:false () in
+  Alcotest.(check bool) "events disabled" false (Obs.Sink.events_enabled s);
+  Obs.Sink.instant s ~track ~name:"i" ~ts_s:0.0;
+  Obs.Sink.span s ~track ~name:"sp" ~start_s:0.0 ~dur_s:1.0;
+  Obs.Sink.sample s ~track ~name:"g" ~ts_s:0.5 3.5;
+  Alcotest.(check int) "no events retained" 0 (List.length (Obs.Sink.events s));
+  Alcotest.(check int) "no events recorded at all" 0 (Obs.Sink.recorded s);
+  Alcotest.(check (option (float 0.0))) "sample still lands as a gauge"
+    (Some 3.5)
+    (Obs.Metrics.gauge (Obs.Sink.metrics s) "g");
+  Alcotest.(check bool) "span validation still applies" true
+    (try
+       Obs.Sink.span s ~track ~name:"bad" ~start_s:0.0 ~dur_s:(-1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_slo_sweep_counters_only_metrics_match () =
+  let run events =
+    let obs = Obs.Sink.create ~events () in
+    ignore
+      (Slo.sweep ~requests:30 ~domains:4 ~obs config Slo.interactive
+         ~rates:sweep_rates);
+    (Obs.Sink.events obs, Obs.Metrics.to_json (Obs.Sink.metrics obs))
+  in
+  let ev_full, m_full = run true in
+  let ev_off, m_off = run false in
+  Alcotest.(check bool) "full sink sees events" true (ev_full <> []);
+  Alcotest.(check int) "counters-only sink sees none" 0 (List.length ev_off);
+  Alcotest.(check string) "metrics registries identical" m_full m_off
+
 (* --- Perf.token_latency_cached --------------------------------------------- *)
 
 let test_latency_cache_agrees () =
@@ -379,6 +608,30 @@ let () =
             test_scaling_and_tornado_identical_across_widths;
           Alcotest.test_case "experiments tables" `Quick
             test_experiments_identical_across_widths;
+        ] );
+      ( "pool-lifecycle",
+        [
+          Alcotest.test_case "pool identity (record-copy regression)" `Quick
+            test_pool_identity_workers_visible;
+          Alcotest.test_case "shutdown quiesces" `Quick test_shutdown_quiesces;
+          Alcotest.test_case "shared pool persistence" `Quick
+            test_shared_pool_persistence;
+          Alcotest.test_case "catastrophes surface" `Quick test_catastrophe_propagates;
+        ] );
+      ( "env-width",
+        [
+          Alcotest.test_case "malformed HNLPU_DOMAINS rejected" `Quick
+            test_env_domains_malformed_rejected;
+          Alcotest.test_case "valid and unset values" `Quick
+            test_env_domains_valid_and_unset;
+        ] );
+      ( "rng-exact",
+        [ qt prop_rng_create_matches_reference; qt prop_rng_derive_matches_reference ] );
+      ( "counters-only",
+        [
+          Alcotest.test_case "sink semantics" `Quick test_counters_only_sink;
+          Alcotest.test_case "sweep metrics match" `Quick
+            test_slo_sweep_counters_only_metrics_match;
         ] );
       ( "obs-merge",
         [
