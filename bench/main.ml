@@ -366,18 +366,27 @@ let serving_report ?(path = "BENCH_serving.json") () =
    the machine's core count: on a single-core runner both timings coincide
    and speedup ~1.0; CI runs this with HNLPU_DOMAINS=4 on 4-vCPU hosts.
 
-   Each sweep returns its wall-clock seconds and a thunk that marshals the
-   result on demand: only the sweep itself is timed, and the
-   structural-identity check (Marshal + compare) runs in a separately
-   reported phase — serializing inside the timed region used to pollute
-   the speedups CI tracks. *)
+   Each sweep returns its wall-clock seconds, the minor-heap words it
+   allocated on the calling domain, and a thunk that marshals the result
+   on demand: only the sweep itself is timed, and the structural-identity
+   check (Marshal + compare) runs in a separately reported phase —
+   serializing inside the timed region used to pollute the speedups CI
+   tracks.  The allocation figure is meaningful for the serial leg (all
+   work runs on the calling domain); for the parallel leg the workers'
+   allocations land on their own domains and are not counted, which is
+   why only [serial_alloc_words] is reported. *)
 
-let par_sweeps : (string * int * (int -> float * (unit -> string))) list =
+let par_sweeps :
+    (string * int * (int -> float * float * (unit -> string))) list =
   let timed f domains =
+    let a0 = Gc.allocated_bytes () in
     let t0 = Unix.gettimeofday () in
     let v = f domains in
     let dt = Unix.gettimeofday () -. t0 in
-    (dt, fun () -> Marshal.to_string v [])
+    let words =
+      (Gc.allocated_bytes () -. a0) /. float_of_int (Sys.word_size / 8)
+    in
+    (dt, words, fun () -> Marshal.to_string v [])
   in
   let rates = List.init 10 (fun i -> 2_000.0 +. (2_000.0 *. float_of_int i)) in
   [
@@ -417,16 +426,18 @@ let par_report ?(path = "BENCH_par.json") () =
   let rows =
     List.map
       (fun (name, points, run) ->
-        let serial_s, serial = run 1 in
-        let parallel_s, parallel = run domains in
+        let serial_s, serial_alloc_words, serial = run 1 in
+        let parallel_s, _, parallel = run domains in
         let check0 = Unix.gettimeofday () in
         let identical = String.equal (serial ()) (parallel ()) in
         let check_s = Unix.gettimeofday () -. check0 in
         let speedup = if parallel_s > 0.0 then serial_s /. parallel_s else 1.0 in
+        let words_per_point = serial_alloc_words /. float_of_int points in
         Printf.printf
           "  %-22s %2d points: serial %.3f s, j=%d %.3f s, speedup %.2fx \
-           (check %.3f s)%s\n"
+           (check %.3f s, %.2g w/pt)%s\n"
           name points serial_s domains parallel_s speedup check_s
+          words_per_point
           (if identical then "" else "  [MISMATCH]");
         J.obj
           [
@@ -436,6 +447,8 @@ let par_report ?(path = "BENCH_par.json") () =
             ("parallel_s", J.number parallel_s);
             ("speedup", J.number speedup);
             ("check_s", J.number check_s);
+            ("serial_alloc_words", J.number serial_alloc_words);
+            ("words_per_point", J.number words_per_point);
             ("identical", J.bool identical);
           ])
       par_sweeps

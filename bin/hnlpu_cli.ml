@@ -925,6 +925,141 @@ let check_cmd =
       const run $ json $ verbose $ fixture $ self_test $ list_rules $ bundle
       $ export_bundle $ static)
 
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let module Lint = Hnlpu_lint.Lint in
+  let module Baseline = Hnlpu_lint.Baseline in
+  let module Lint_config = Hnlpu_lint.Lint_config in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON findings.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print INFO findings (including baselined ones).")
+  in
+  let dirs =
+    Arg.(
+      value & opt_all string []
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Scan .cmt files under $(docv) (repeatable).  Default: the \
+             library build tree (_build/default/lib), i.e. the whole lib/ \
+             source tree as dune compiled it.")
+  in
+  let baseline_path =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline of accepted findings (default: lint.baseline when \
+             present).  Matched findings downgrade to INFO with their \
+             recorded reason; stale entries surface as LINT-BASELINE \
+             warnings.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the rule families and exit.")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Lint the seeded-broken fixtures and verify every rule family \
+             catches its own planted bug (and that the clean fixture stays \
+             clean).")
+  in
+  let update_baseline =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Rewrite the baseline file from the Error findings of this run \
+             (reasons are stubbed as TODO and must be justified by hand).")
+  in
+  let run json verbose dirs baseline_path list_rules self_test update_baseline =
+    if list_rules then
+      List.iter
+        (fun r -> Printf.printf "%-12s %s\n" r (Lint_config.describe r))
+        Lint_config.rules
+    else if self_test then begin
+      let dirs = if dirs = [] then Lint.default_fixture_dirs else dirs in
+      match Lint.self_test ~dirs () with
+      | exception Failure msg ->
+        prerr_endline ("hnlpu lint: " ^ msg);
+        exit 3
+      | caught, clean, ds ->
+        List.iter
+          (fun (rule, hit) ->
+            Printf.printf "%-12s %s\n" rule (if hit then "caught" else "MISSED"))
+          caught;
+        Printf.printf "%-12s %s\n" "CLEAN" (if clean then "caught" else "MISSED");
+        let missed = List.filter (fun (_, hit) -> not hit) caught in
+        if missed <> [] || not clean then begin
+          if verbose then print_string (Diagnostic.report ds);
+          Printf.eprintf
+            "lint self-test: %d rule families missed their fixture%s\n"
+            (List.length missed)
+            (if clean then "" else " (and the clean fixture is dirty)");
+          exit 1
+        end
+    end
+    else begin
+      let dirs = if dirs = [] then Lint.default_scan_dirs else dirs in
+      let baseline_file, baseline =
+        match baseline_path with
+        | Some path ->
+          if Sys.file_exists path then (path, Some (Baseline.load path))
+          else if update_baseline then (path, None)
+          else begin
+            Printf.eprintf "hnlpu lint: baseline %s not found\n" path;
+            exit 3
+          end
+        | None ->
+          if Sys.file_exists "lint.baseline" then
+            ("lint.baseline", Some (Baseline.load "lint.baseline"))
+          else ("lint.baseline", None)
+      in
+      if update_baseline then begin
+        match Lint.run ~dirs () with
+        | exception Failure msg ->
+          prerr_endline ("hnlpu lint: " ^ msg);
+          exit 3
+        | ds ->
+          let entries = Baseline.of_errors ds in
+          Baseline.save baseline_file entries;
+          Printf.printf
+            "%d entr%s written to %s — replace every TODO reason with a \
+             real justification before committing\n"
+            (List.length entries)
+            (if List.length entries = 1 then "y" else "ies")
+            baseline_file
+      end
+      else
+        match Lint.run_with_baseline ?baseline ~dirs () with
+        | exception Failure msg ->
+          prerr_endline ("hnlpu lint: " ^ msg);
+          exit 3
+        | ds ->
+          if json then print_string (Diagnostic.to_json ds)
+          else print_string (Diagnostic.report ~show_info:verbose ds);
+          if Diagnostic.count Diagnostic.Error ds > 0 then exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Source-level static analysis over the compiler's typedtree \
+          (.cmt files): hot-path allocation (ALLOC-HOT), nondeterminism \
+          sources (DET-SRC), mutable state escaping into parallel tasks \
+          (PAR-ESCAPE) and swallowed exceptions (EXN-SWALLOW), gated by a \
+          committed baseline.  Exits 2 on unbaselined Error findings.")
+    Term.(
+      const run $ json $ verbose $ dirs $ baseline_path $ list_rules
+      $ self_test $ update_baseline)
+
 (* --- speculate ------------------------------------------------------------------- *)
 
 let speculate_cmd =
@@ -975,7 +1110,7 @@ let main =
       tables_cmd; perf_cmd; tco_cmd; nre_cmd; simulate_cmd; generate_cmd;
       neuron_cmd; ablate_cmd; deploy_cmd; signoff_cmd; carbon_cmd; export_cmd;
       slo_cmd; fleet_cmd; equivalence_cmd; compile_cmd; speculate_cmd;
-      check_cmd; trace_cmd;
+      check_cmd; trace_cmd; lint_cmd;
     ]
 
 let () =

@@ -1,0 +1,88 @@
+(* Discovery and loading of [.cmt] files (compiler typedtrees).
+
+   Dune already compiles everything with [-bin-annot], so the build tree
+   holds a [.cmt] per module under [.<lib>.objs/byte/]; the lint engine
+   reads those rather than re-typing sources, which keeps it exact (the
+   typedtree has resolved paths and instantiated types) and free — no
+   second frontend, no parser drift.
+
+   Loading is deterministic: files are discovered in sorted order,
+   deduplicated by compilation-unit name, and generated wrapper modules
+   (dune's [Lib__] aliases, with no real source file) are skipped. *)
+
+type source = {
+  modname : string;  (* normalized: "Hnlpu_util__Rng" -> "Hnlpu_util.Rng" *)
+  sourcefile : string;
+  structure : Typedtree.structure;
+}
+
+(* "Hnlpu_util__Rng" -> "Hnlpu_util.Rng" *)
+let normalize_modname m =
+  let parts = ref [] in
+  let buf = Buffer.create (String.length m) in
+  let n = String.length m in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && m.[!i] = '_' && m.[!i + 1] = '_' then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf m.[!i];
+      incr i
+    end
+  done;
+  parts := Buffer.contents buf :: !parts;
+  String.concat "." (List.rev !parts)
+
+let rec find_cmts dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then find_cmts path acc
+        else if Filename.check_suffix entry ".cmt" then path :: acc
+        else acc)
+      acc entries
+
+(* Load every analyzable module under [dirs]; returns modules sorted by
+   name and the list of files that could not be read (version-mismatched
+   or truncated cmt data). *)
+let load_dirs dirs : source list * string list =
+  let files =
+    List.concat_map (fun d -> List.rev (find_cmts d [])) dirs
+    |> List.sort_uniq String.compare
+  in
+  let seen = Hashtbl.create 64 in
+  let failed = ref [] in
+  let mods =
+    List.filter_map
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception e ->
+          (* Unreadable cmt data (version-mismatched or truncated) is
+             not fatal: it becomes a LINT-LOAD diagnostic downstream,
+             carrying the exception so nothing is silently dropped. *)
+          failed := Printf.sprintf "%s (%s)" path (Printexc.to_string e) :: !failed;
+          None
+        | infos -> (
+          match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
+          | Cmt_format.Implementation structure, Some sourcefile
+            when not (Filename.check_suffix sourcefile ".ml-gen") ->
+            let modname = normalize_modname infos.Cmt_format.cmt_modname in
+            if Hashtbl.mem seen modname then None
+            else begin
+              Hashtbl.add seen modname ();
+              Some { modname; sourcefile; structure }
+            end
+          | _ -> None))
+      files
+  in
+  let mods =
+    List.sort (fun a b -> String.compare a.modname b.modname) mods
+  in
+  (mods, List.rev !failed)

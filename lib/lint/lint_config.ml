@@ -1,0 +1,81 @@
+(* Configuration for the source-level lint engine.
+
+   The hot-path set names the code whose inner loops PR 6 hand-optimized
+   to be allocation-free, because OCaml 5's stop-the-world minor GC turns
+   any allocation on a sweep hot path into a fleet-wide synchronization
+   point.  ALLOC-HOT enforces that property going forward.
+
+   Entries are dotted path prefixes over normalized module paths
+   ("Library.Module" or "Library.Module.function"): a binding is hot when
+   its qualified path extends one of these prefixes, so nested helpers of
+   a hot function (e.g. [Scheduler.simulate]'s internal loops) are hot
+   too.  Code can also opt in locally with a [[@@hnlpu.hot]] attribute on
+   the binding, and opt out of specific rules with
+   [[@@hnlpu.lint_ignore "RULE ..."]] — see the README's Source lint
+   section. *)
+
+(* Two grades of hot code:
+
+   - [Leaf]: small per-event operations (Rng draws, Heap/Fifo ops).
+     Callers invoke them inside their event loops, so every allocation
+     in the body is a per-event allocation — all of them are errors.
+   - [Driver]: large entry points ([Scheduler.simulate],
+     [Slo.evaluate]) that run a long event loop after a once-per-call
+     setup prologue.  Allocation in the prologue is O(1) per call and
+     merely informational; allocation inside a loop body or an inner
+     function (the event handlers the loop dispatches to) is O(events)
+     and an error. *)
+type hot_kind = Leaf | Driver
+
+type t = {
+  hot_paths : (string * hot_kind) list;
+      (* ALLOC-HOT scope: dotted-path prefixes *)
+}
+
+let default_hot_paths =
+  [
+    ("Hnlpu_util.Rng", Leaf);
+    ("Hnlpu_util.Heap", Leaf);
+    ("Hnlpu_util.Fifo", Leaf);
+    ("Hnlpu_util.Stats.percentile_in_place", Leaf);
+    ("Hnlpu_system.Scheduler.simulate", Driver);
+    ("Hnlpu_system.Slo.evaluate", Driver);
+  ]
+
+let default = { hot_paths = default_hot_paths }
+
+(* The four rule families, mirroring the bug classes PRs 2-6 found by
+   hand in the scheduler, pool, and sweep layers. *)
+let rules = [ "ALLOC-HOT"; "DET-SRC"; "PAR-ESCAPE"; "EXN-SWALLOW" ]
+
+let describe = function
+  | "ALLOC-HOT" ->
+    "allocating construct (closure, tuple, record, list, boxed int64, \
+     Printf, partial application) inside a configured hot path"
+  | "DET-SRC" ->
+    "nondeterminism source: Random.* instead of Util.Rng, wall-clock \
+     reads, unordered Hashtbl iteration, polymorphic compare on \
+     function-bearing types"
+  | "PAR-ESCAPE" ->
+    "mutable state captured and written inside a closure passed to \
+     Par.parallel_map/init/sweep/run_tasks"
+  | "EXN-SWALLOW" ->
+    "catch-all exception handler that discards the exception"
+  | "LINT-BASELINE" -> "stale baseline entry that matched no finding"
+  | r -> invalid_arg (Printf.sprintf "Lint_config.describe: unknown rule %S" r)
+
+(* [path] extends [prefix] component-wise: "A.B" covers "A.B" and
+   "A.B.anything" but not "A.Bc". *)
+let path_matches ~prefix path =
+  let rec go ps qs =
+    match (ps, qs) with
+    | [], _ -> true
+    | _, [] -> false
+    | p :: ps, q :: qs -> String.equal p q && go ps qs
+  in
+  go (String.split_on_char '.' prefix) (String.split_on_char '.' path)
+
+let hot_kind t path =
+  List.find_map
+    (fun (prefix, kind) -> if path_matches ~prefix path then Some kind else None)
+    t.hot_paths

@@ -236,6 +236,14 @@ let shared ?domains () =
 
 (* --- Order-preserving combinators --------------------------------------- *)
 
+(* Remaining-work estimate below which dispatching a region to the pool
+   costs more than it buys: waking the workers (mutex + condvar
+   broadcast) and bouncing the results array between domain caches is a
+   low-hundreds-of-microseconds affair, so a sweep whose entire tail
+   projects under this budget runs faster on the calling domain — and
+   tiny sweeps used to come out *slower* than sequential. *)
+let sequential_threshold_s = 2e-4
+
 let parallel_init ?domains n f =
   if n < 0 then invalid_arg "Par.parallel_init: negative length";
   let j = match domains with Some j -> j | None -> default_domains () in
@@ -243,11 +251,27 @@ let parallel_init ?domains n f =
   if j = 1 || n <= 1 || Domain.DLS.get on_worker then Array.init n f
   else begin
     let results = Array.make n None in
-    (* If any task raises, [run_tasks] completes the region and re-raises
-       the lowest-indexed failure, so no slot is read half-filled. *)
-    run_tasks (shared_pool j) ~tasks:n (fun i -> results.(i) <- Some (f i));
+    (* Probe: run task 0 on the calling domain and time it.  If the
+       projected cost of the remaining tasks stays under the threshold,
+       finish sequentially.  Results are byte-identical either way —
+       every task writes only its own slot and the reduction below reads
+       in index order; the clock picks the execution strategy, never a
+       value.  Failure order is also preserved: task 0 is the
+       lowest-possible-index failure, and [run_tasks] re-raises the
+       lowest-indexed failure of the tail. *)
+    let t0 = Unix.gettimeofday () in
+    results.(0) <- Some (f 0);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt *. float_of_int (n - 1) < sequential_threshold_s then
+      for i = 1 to n - 1 do
+        results.(i) <- Some (f i)
+      done
+    else
+      run_tasks (shared_pool j) ~tasks:(n - 1) (fun k ->
+          results.(k + 1) <- Some (f (k + 1)));
     Array.map (function Some v -> v | None -> assert false) results
   end
+[@@hnlpu.lint_ignore "DET-SRC"]
 
 let parallel_map ?domains f xs =
   match xs with

@@ -111,6 +111,11 @@ let capacity_profile ~slots failures =
       max 0 (slots - lost.(!lo))
     end
 
+(* Smallest power-of-two context bucket (>= 2048) covering [position].
+   Module-level so [latency_at] does not rebuild the closure per event. *)
+let rec pow2_bucket b position =
+  if b >= max 2048 position then b else pow2_bucket (2 * b) position
+
 let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = [])
     ?obs config requests =
   let latency = Perf.token_latency_cached ?tech config ~context in
@@ -119,8 +124,7 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
   let latency_at position =
     if not context_aware then latency
     else begin
-      let rec bucket b = if b >= max 2048 position then b else bucket (2 * b) in
-      let b = bucket 2048 in
+      let b = pow2_bucket 2048 position in
       match Hashtbl.find_opt bucket_cache b with
       | Some l -> l
       | None ->
@@ -235,6 +239,9 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
       Hnlpu_obs.Metrics.observe m "scheduler/ttft_s" (first_token -. arrival);
       Hnlpu_obs.Metrics.observe m "scheduler/e2e_s" (finish -. arrival);
       Hnlpu_obs.Metrics.observe m "scheduler/queue_wait_s" (injected -. arrival)
+  [@@hnlpu.lint_ignore "ALLOC-HOT"]
+  (* Runs only when tracing ([obs]) is enabled, once per completed
+     request; span and argument records inherently allocate. *)
   in
   (* Hoisted out of [try_inject]: per-call refs (and the recursive [go]
      closure this loop used to be) were a few words on every event, which
@@ -261,10 +268,13 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
         injecting := false
       end
       else begin
-        let s, kind =
-          if not (Fifo.is_empty decode_queue) then (Fifo.pop decode_queue, Decode)
-          else (Fifo.pop prefill_queue, Prefill)
+        (* Two separate bindings, not a tuple destructure: the tuple
+           was a 3-word allocation per injected token. *)
+        let from_decode = not (Fifo.is_empty decode_queue) in
+        let s =
+          if from_decode then Fifo.pop decode_queue else Fifo.pop prefill_queue
         in
+        let kind = if from_decode then Decode else Prefill in
         (match s.injected_first with
         | None -> s.injected_first <- Some now
         | Some _ -> ());

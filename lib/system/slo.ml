@@ -25,17 +25,19 @@ let evaluate ?(seed = 1234) ?(requests = 150) ?(mean_prefill = 256)
      instead of two arrays plus a copy per percentile call. *)
   let n = List.length r.Scheduler.completed_requests in
   let scratch = Array.make (Stdlib.max 1 n) 0.0 in
-  let fill f =
-    List.iteri
-      (fun i c ->
-        scratch.(i) <- f c -. c.Scheduler.request.Scheduler.arrival_s)
-      r.Scheduler.completed_requests
+  (* A recursive walk rather than [List.iteri f]: the iteration closure
+     was rebuilt on every [fill] call. *)
+  let rec fill f i = function
+    | [] -> ()
+    | c :: rest ->
+      scratch.(i) <- f c -. c.Scheduler.request.Scheduler.arrival_s;
+      fill f (i + 1) rest
   in
-  fill (fun c -> c.Scheduler.first_token_s);
+  fill (fun c -> c.Scheduler.first_token_s) 0 r.Scheduler.completed_requests;
   let ttft_p95 =
     if n = 0 then nan else Stats.percentile_in_place scratch 0.95
   in
-  fill (fun c -> c.Scheduler.finish_s);
+  fill (fun c -> c.Scheduler.finish_s) 0 r.Scheduler.completed_requests;
   let e2e_p95 =
     if n = 0 then nan else Stats.percentile_in_place scratch 0.95
   in

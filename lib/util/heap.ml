@@ -17,7 +17,11 @@ type 'a t = {
   mutable filler : 'a option;
 }
 
-let create ?dummy () = { prio = [||]; data = [||]; n = 0; filler = dummy }
+(* The constructor allocates the structure by nature — once per heap,
+   never per operation. *)
+let create ?dummy () =
+  { prio = [||]; data = [||]; n = 0; filler = dummy }
+[@@hnlpu.lint_ignore "ALLOC-HOT"]
 
 let is_empty t = t.n = 0
 
@@ -38,11 +42,14 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.n && t.prio.(l) < t.prio.(!smallest) then smallest := l;
-  if r < t.n && t.prio.(r) < t.prio.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let s = !smallest in
+  (* Plain rebinding, not a [ref]: a ref cell here was one minor-heap
+     allocation per sift step of the per-token event queue. *)
+  let smallest = if l < t.n && t.prio.(l) < t.prio.(i) then l else i in
+  let smallest =
+    if r < t.n && t.prio.(r) < t.prio.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let s = smallest in
     let p = t.prio.(i) and v = t.data.(i) in
     t.prio.(i) <- t.prio.(s);
     t.data.(i) <- t.data.(s);

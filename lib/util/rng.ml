@@ -74,11 +74,17 @@ let next_out t =
   t.lo <- lo;
   mix_into t hi lo
 
+(* Stream constructors allocate their state record by nature; they run
+   once per stream at setup, never per draw. *)
+
 let create seed =
   (* Halves of the sign-extended 64-bit image of [seed]. *)
   { hi = (seed asr 32) land mask32; lo = seed land mask32; out_hi = 0; out_lo = 0 }
+[@@hnlpu.lint_ignore "ALLOC-HOT"]
 
-let copy t = { hi = t.hi; lo = t.lo; out_hi = 0; out_lo = 0 }
+let copy t =
+  { hi = t.hi; lo = t.lo; out_hi = 0; out_lo = 0 }
+[@@hnlpu.lint_ignore "ALLOC-HOT"]
 
 let next_int64 t =
   next_out t;
@@ -95,6 +101,7 @@ let split t =
   r.out_hi <- 0;
   r.out_lo <- 0;
   r
+[@@hnlpu.lint_ignore "ALLOC-HOT"]
 
 let derive seed ~stream =
   if stream < 0 then invalid_arg "Rng.derive: negative stream";
@@ -118,6 +125,7 @@ let derive seed ~stream =
   r.out_hi <- 0;
   r.out_lo <- 0;
   r
+[@@hnlpu.lint_ignore "ALLOC-HOT"]
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -135,21 +143,20 @@ let bool t =
   next_out t;
   t.out_lo land 1 = 1
 
+(* Rejection draw of a nonzero unit float, at the module level: the
+   let-bound [draw] closures gaussian/exponential used to build cost an
+   allocation on every variate. *)
+let rec nonzero_unit t =
+  let u = float t 1.0 in
+  if u = 0.0 then nonzero_unit t else u
+
 let gaussian t =
-  let rec draw () =
-    let u = float t 1.0 in
-    if u = 0.0 then draw () else u
-  in
-  let u1 = draw () and u2 = float t 1.0 in
+  let u1 = nonzero_unit t and u2 = float t 1.0 in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
 let exponential t rate =
   if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
-  let rec draw () =
-    let u = float t 1.0 in
-    if u = 0.0 then draw () else u
-  in
-  -.log (draw ()) /. rate
+  -.log (nonzero_unit t) /. rate
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

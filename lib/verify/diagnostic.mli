@@ -27,6 +27,10 @@ val info : rule:string -> subject:string -> ('a, unit, string, t) format4 -> 'a
 val severity_label : severity -> string
 (** "ERROR" / "WARN" / "INFO". *)
 
+val rank : severity -> int
+(** Info 0, Warning 1, Error 2 — the comparison order used by gates that
+    accept a minimum severity. *)
+
 val count : severity -> t list -> int
 
 val has_rule : ?min_severity:severity -> string -> t list -> bool

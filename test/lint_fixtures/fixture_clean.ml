@@ -1,0 +1,25 @@
+(* Deliberately clean module: pure, allocation-free-when-hot patterns
+   the lint engine must stay silent on — the zero-findings control for
+   test_lint and the self-test. *)
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let dot3 a0 a1 a2 b0 b1 b2 = (a0 *. b0) +. (a1 *. b1) +. (a2 *. b2)
+
+let sum_to n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  !acc
+
+let handled_specifically f default =
+  (* Matching a specific exception is deliberate handling, not a
+     swallow. *)
+  try f () with Not_found -> default
+
+let rethrow_with_context f =
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace e bt

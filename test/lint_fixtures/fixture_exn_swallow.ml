@@ -1,0 +1,15 @@
+(* EXN-SWALLOW fixture: blanket handlers that discard the exception —
+   the worker-loop bug class PR 6 removed (a swallowed Out_of_memory in
+   a pool worker silently corrupted the whole region). *)
+
+let swallow_unit f =
+  try f () with _ -> ()
+
+let swallow_named f default =
+  (* Binding the exception and then ignoring it swallows just as hard. *)
+  try f () with e -> default
+
+let swallow_in_match f =
+  match f () with
+  | v -> v
+  | exception _ -> 0

@@ -1,0 +1,33 @@
+(* PAR-ESCAPE fixture: mutable state captured and written inside
+   closures handed to the Par combinators — the exact shape of the PR 6
+   pool-copy bug (workers mutated state the caller never saw; here,
+   tasks race on state every worker sees). *)
+
+module Par = Hnlpu_par.Par
+
+let racy_sum xs =
+  let total = ref 0.0 in
+  (* Captured ref mutated from every task: tasks race on [total] and
+     the accumulation order depends on the scheduler. *)
+  let _ =
+    Par.parallel_map
+      (fun x ->
+        total := !total +. x;
+        x)
+      xs
+  in
+  !total
+
+let clobber_slot xs =
+  let out = Array.make 1 0.0 in
+  (* Captured array written at a fixed index: every task writes slot 0. *)
+  let _ = Par.parallel_map (fun x -> out.(0) <- x; x) xs in
+  out.(0)
+
+type cell = { mutable last : float }
+
+let racy_field xs =
+  let c = { last = 0.0 } in
+  (* Mutable field of a captured record written per task. *)
+  let _ = Par.parallel_map (fun x -> c.last <- x; x) xs in
+  c.last

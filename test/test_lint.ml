@@ -1,0 +1,178 @@
+(* Tests for the source-level lint engine (Hnlpu_lint):
+
+   - every rule family catches its seeded-broken fixture and the clean
+     fixture stays clean (the self-test CI runs);
+   - the fixture set covers exactly the configured rule families — a new
+     rule without a fixture, or a stale fixture, fails here;
+   - output is deterministic: two runs serialize byte-identically;
+   - the baseline round-trips through its textual format, downgrades
+     matched findings to Info with the reason attached, and reports
+     stale entries instead of silently skipping them. *)
+
+module D = Hnlpu_verify.Diagnostic
+module Lint = Hnlpu_lint.Lint
+module Lint_config = Hnlpu_lint.Lint_config
+module Baseline = Hnlpu_lint.Baseline
+
+(* The fixture library is linked (never called) so dune compiles it —
+   and thereby emits the .cmt files this suite lints — before the suite
+   runs. *)
+let _force_fixture_build = Lint_fixtures.Fixture_clean.clamp 0 1 0
+
+(* Tests run from [_build/default/test]; direct invocation from the
+   workspace root also works. *)
+let fixture_dirs () =
+  match List.filter Sys.file_exists ("lint_fixtures" :: Lint.default_fixture_dirs) with
+  | [] -> Alcotest.fail "lint fixtures not found — build with `dune build @all'"
+  | dirs -> dirs
+
+let run_fixtures () = Lint.run ~dirs:(fixture_dirs ()) ()
+
+(* --- Fixture coverage ----------------------------------------------------- *)
+
+let test_fixtures_cover_rules () =
+  let expected = List.sort String.compare (List.map (fun (r, _, _) -> r) Lint.fixture_expectations) in
+  let rules = List.sort String.compare Lint_config.rules in
+  Alcotest.(check (list string))
+    "one seeded-broken fixture per rule family" rules expected
+
+let test_self_test_catches_all () =
+  let caught, clean, ds = Lint.self_test ~dirs:(fixture_dirs ()) () in
+  List.iter
+    (fun (rule, hit) ->
+      Alcotest.(check bool) (rule ^ " fires on its fixture") true hit)
+    caught;
+  Alcotest.(check bool) "clean fixture is clean" true clean;
+  Alcotest.(check bool) "fixtures produce findings" true (ds <> [])
+
+let test_expected_severities () =
+  let ds = run_fixtures () in
+  List.iter
+    (fun (rule, fixture, min_sev) ->
+      let hit =
+        List.exists
+          (fun d ->
+            String.equal d.D.rule rule
+            && D.rank d.D.severity >= D.rank min_sev
+            && List.exists (String.equal fixture)
+                 (String.split_on_char '.' d.D.subject))
+          ds
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s >= %s on %s" rule (D.severity_label min_sev) fixture)
+        true hit)
+    Lint.fixture_expectations
+
+let test_clean_module_zero_findings () =
+  let ds = run_fixtures () in
+  let dirty =
+    List.filter
+      (fun d ->
+        List.exists (String.equal "Fixture_clean")
+          (String.split_on_char '.' d.D.subject))
+      ds
+  in
+  Alcotest.(check int) "no findings on Fixture_clean" 0 (List.length dirty)
+
+(* --- Determinism ----------------------------------------------------------- *)
+
+let test_json_byte_identical () =
+  let a = D.to_json (run_fixtures ()) in
+  let b = D.to_json (run_fixtures ()) in
+  Alcotest.(check string) "two runs serialize byte-identically" a b
+
+(* --- Baseline -------------------------------------------------------------- *)
+
+let sample_entries =
+  [
+    Baseline.entry ~rule:"ALLOC-HOT" ~subject:"M.f" ~reason:"amortized growth";
+    Baseline.entry ~rule:"DET-SRC" ~subject:"M.g" ~reason:"sorted downstream";
+  ]
+
+let test_baseline_round_trip () =
+  let parsed = Baseline.of_string (Baseline.to_string sample_entries) in
+  Alcotest.(check int) "entry count survives" 2 (List.length parsed);
+  List.iter2
+    (fun (a : Baseline.entry) (b : Baseline.entry) ->
+      Alcotest.(check string) "rule" a.Baseline.rule b.Baseline.rule;
+      Alcotest.(check string) "subject" a.Baseline.subject b.Baseline.subject;
+      Alcotest.(check string) "reason" a.Baseline.reason b.Baseline.reason)
+    sample_entries parsed
+
+let test_baseline_rejects_empty_reason () =
+  Alcotest.check_raises "empty reason is rejected"
+    (Failure
+       "baseline line 1: empty reason — every accepted finding must say why")
+    (fun () -> ignore (Baseline.of_string "ALLOC-HOT\tM.f\t \n"))
+
+let test_baseline_apply_downgrades_and_flags_stale () =
+  let ds =
+    [
+      D.error ~rule:"ALLOC-HOT" ~subject:"M.f" "tuple allocation";
+      D.error ~rule:"ALLOC-HOT" ~subject:"M.other" "record allocation";
+    ]
+  in
+  let stale =
+    Baseline.entry ~rule:"EXN-SWALLOW" ~subject:"M.gone" ~reason:"was removed"
+  in
+  let out = D.normalize (Baseline.apply (sample_entries @ [ stale ]) ds) in
+  let find subject = List.find (fun d -> String.equal d.D.subject subject) out in
+  let matched = find "M.f" in
+  Alcotest.(check string) "matched finding downgraded" "INFO"
+    (D.severity_label matched.D.severity);
+  Alcotest.(check bool) "reason is attached" true
+    (Thelp.contains matched.D.message "amortized growth");
+  Alcotest.(check string) "unmatched finding keeps severity" "ERROR"
+    (D.severity_label (find "M.other").D.severity);
+  let lint_baseline = List.filter (fun d -> d.D.rule = "LINT-BASELINE") out in
+  Alcotest.(check int) "stale entries reported" 2 (List.length lint_baseline);
+  Alcotest.(check bool) "stale subject named" true
+    (List.exists (fun d -> String.equal d.D.subject "M.gone") lint_baseline)
+
+let test_repo_baseline_matches_format () =
+  (* The committed baseline (when visible from the test's cwd) parses and
+     every entry carries a real reason. *)
+  let candidates = [ "../../../lint.baseline"; "lint.baseline" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> ()
+  | Some path ->
+    let entries = Baseline.load path in
+    Alcotest.(check bool) "committed baseline is non-empty" true (entries <> []);
+    List.iter
+      (fun (e : Baseline.entry) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s reason is justified" e.Baseline.rule
+             e.Baseline.subject)
+          false
+          (Thelp.contains e.Baseline.reason "TODO"))
+      entries
+
+let () =
+  Alcotest.run "hnlpu lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "fixtures cover rule families" `Quick
+            test_fixtures_cover_rules;
+          Alcotest.test_case "self-test catches all families" `Quick
+            test_self_test_catches_all;
+          Alcotest.test_case "expected severities" `Quick test_expected_severities;
+          Alcotest.test_case "clean module stays clean" `Quick
+            test_clean_module_zero_findings;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "JSON byte-identical across runs" `Quick
+            test_json_byte_identical;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round-trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "empty reason rejected" `Quick
+            test_baseline_rejects_empty_reason;
+          Alcotest.test_case "apply downgrades + stale" `Quick
+            test_baseline_apply_downgrades_and_flags_stale;
+          Alcotest.test_case "committed baseline well-formed" `Quick
+            test_repo_baseline_matches_format;
+        ] );
+    ]
