@@ -235,16 +235,18 @@ let simulate_cmd =
       (Units.group_thousands (int_of_float r.Scheduler.throughput_tokens_per_s))
       (Units.group_thousands (int_of_float (Scheduler.saturated_throughput ~context config)));
     Printf.printf "  slot occupancy    %s\n" (Units.percent r.Scheduler.mean_slot_occupancy);
-    let ttft =
-      Array.of_list
-        (List.map
-           (fun c -> c.Scheduler.first_token_s -. c.Scheduler.request.Scheduler.arrival_s)
-           r.Scheduler.completed_requests)
-    in
-    if Array.length ttft > 0 then begin
+    (* Streamed through the bounded-memory sketch (1/64 relative error)
+       rather than materializing a TTFT array per run. *)
+    let ttft = Obs.Sketch.create () in
+    List.iter
+      (fun c ->
+        Obs.Sketch.observe ttft
+          (c.Scheduler.first_token_s -. c.Scheduler.request.Scheduler.arrival_s))
+      r.Scheduler.completed_requests;
+    if Obs.Sketch.count ttft > 0 then begin
       Printf.printf "  TTFT p50 / p95    %s / %s\n"
-        (Units.seconds (Stats.percentile ttft 0.5))
-        (Units.seconds (Stats.percentile ttft 0.95))
+        (Units.seconds (Obs.Sketch.quantile ttft 0.5))
+        (Units.seconds (Obs.Sketch.quantile ttft 0.95))
     end;
     match (obs, metrics_out) with
     | Some o, Some path ->

@@ -38,6 +38,19 @@ let default_hot_paths =
     ("Hnlpu_util.Heap", Leaf);
     ("Hnlpu_util.Fifo", Leaf);
     ("Hnlpu_util.Stats.percentile_in_place", Leaf);
+    (* Telemetry per-event entry points: once a series exists, recording
+       into it must allocate nothing, or instrumented runs lose the
+       parallel scaling PR 6 bought.  The cold registration/append paths
+       are separately named ([observe_slow], [exact_append], ...) so the
+       component-wise prefix match leaves them out. *)
+    ("Hnlpu_obs.Sketch.observe", Leaf);
+    ("Hnlpu_obs.Sketch.octave_pos", Leaf);
+    ("Hnlpu_obs.Sketch.octave_neg", Leaf);
+    ("Hnlpu_obs.Sketch.bucket_index_pos", Leaf);
+    ("Hnlpu_obs.Sketch.bucket_index_neg", Leaf);
+    ("Hnlpu_obs.Metrics.observe", Leaf);
+    ("Hnlpu_obs.Metrics.incr", Leaf);
+    ("Hnlpu_obs.Metrics.set_stamped", Leaf);
     ("Hnlpu_system.Scheduler.simulate", Driver);
     ("Hnlpu_system.Slo.evaluate", Driver);
   ]

@@ -275,7 +275,8 @@ let run_all_reduce ?plan ?obs ?(link = Link.cxl3) ?(t0_s = 0.0) ~group vals =
           Hnlpu_obs.Metrics.observe m "noc/transfer_s" d)
         step;
       step_start := !step_start +. !worst;
-      Hnlpu_obs.Metrics.set m "noc/makespan_s" (!step_start -. t0_s)
+      Hnlpu_obs.Metrics.set_stamped m ~stamp:(!step_start -. t0_s)
+        "noc/makespan_s" (!step_start -. t0_s)
   in
   let state = Hashtbl.create 16 in
   List.iter (fun (c, v) -> Hashtbl.replace state c (Array.copy v)) vals;

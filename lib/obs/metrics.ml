@@ -1,69 +1,118 @@
 open Hnlpu_util
 
-type hist = { mutable buf : float array; mutable n : int }
+(* Single-float and float-pair records are flat float records, so the
+   per-event updates below are plain stores — no fresh float box per
+   event.  [incr]/[set_stamped]/[observe] are ALLOC-HOT hot paths (see
+   [Lint_config]); everything that allocates (first registration, exact
+   appends, kind clashes) lives in separately named cold helpers. *)
 
-type series = Counter of float ref | Gauge of float ref | Hist of hist
+type counter = { mutable total : float }
 
-type t = { series : (string, series) Hashtbl.t }
+type gauge = { mutable value : float; mutable stamp : float }
 
-let create () = { series = Hashtbl.create 32 }
+type exact_buf = { mutable buf : float array; mutable n : int }
 
-let kind_label = function Counter _ -> "counter" | Gauge _ -> "gauge" | Hist _ -> "histogram"
+type hist = Sk of Sketch.t | Exact of exact_buf
 
-let lookup t name ~want ~make =
+type series = Counter of counter | Gauge of gauge | Hist of hist
+
+type t = { series : (string, series) Hashtbl.t; exact_default : bool }
+
+let create ?(exact_histograms = false) () =
+  { series = Hashtbl.create 32; exact_default = exact_histograms }
+
+let exact_histograms t = t.exact_default
+
+let kind_label = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let clash name s =
+  invalid_arg (Printf.sprintf "Metrics: %S is already a %s" name (kind_label s))
+
+(* Cold: first use of [name] or a kind clash. *)
+let incr_slow t by name =
   match Hashtbl.find_opt t.series name with
-  | Some s ->
-    if not (want s) then
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is already a %s" name (kind_label s));
-    s
-  | None ->
-    let s = make () in
-    Hashtbl.add t.series name s;
-    s
+  | Some (Counter c) -> c.total <- c.total +. by
+  | Some s -> clash name s
+  | None -> Hashtbl.add t.series name (Counter { total = by })
 
 let incr t ?(by = 1.0) name =
-  match
-    lookup t name
-      ~want:(function Counter _ -> true | _ -> false)
-      ~make:(fun () -> Counter (ref 0.0))
-  with
-  | Counter r -> r := !r +. by
-  | _ -> assert false
+  match Hashtbl.find t.series name with
+  | Counter c -> c.total <- c.total +. by
+  | _ -> incr_slow t by name
+  | exception Not_found -> incr_slow t by name
 
-let set t name v =
-  match
-    lookup t name
-      ~want:(function Gauge _ -> true | _ -> false)
-      ~make:(fun () -> Gauge (ref 0.0))
-  with
-  | Gauge r -> r := v
-  | _ -> assert false
+(* Cold: first use of [name] or a kind clash. *)
+let set_slow t stamp name v =
+  match Hashtbl.find_opt t.series name with
+  | Some (Gauge g) ->
+    g.value <- v;
+    g.stamp <- stamp
+  | Some s -> clash name s
+  | None -> Hashtbl.add t.series name (Gauge { value = v; stamp })
 
-let observe t name v =
-  match
-    lookup t name
-      ~want:(function Hist _ -> true | _ -> false)
-      ~make:(fun () -> Hist { buf = Array.make 64 0.0; n = 0 })
-  with
-  | Hist h ->
-    if h.n = Array.length h.buf then begin
-      let bigger = Array.make (2 * h.n) 0.0 in
-      Array.blit h.buf 0 bigger 0 h.n;
-      h.buf <- bigger
-    end;
-    h.buf.(h.n) <- v;
-    h.n <- h.n + 1
-  | _ -> assert false
+let set_stamped t ~stamp name v =
+  match Hashtbl.find t.series name with
+  | Gauge g ->
+    g.value <- v;
+    g.stamp <- stamp
+  | _ -> set_slow t stamp name v
+  | exception Not_found -> set_slow t stamp name v
+
+let set t name v = set_stamped t ~stamp:neg_infinity name v
+
+(* Cold relative to sketch appends; exact mode is the opt-in test path. *)
+let exact_append name h v =
+  if Float.is_nan v then
+    invalid_arg (Printf.sprintf "Metrics.observe: nan sample for %S" name);
+  if h.n = Array.length h.buf then begin
+    let bigger = Array.make (2 * h.n) 0.0 in
+    Array.blit h.buf 0 bigger 0 h.n;
+    h.buf <- bigger
+  end;
+  h.buf.(h.n) <- v;
+  h.n <- h.n + 1
+
+(* Cold: first observation of [name] (fixes the histogram's mode) or a
+   kind clash. *)
+let rec observe_slow t exact name v =
+  match Hashtbl.find_opt t.series name with
+  | Some (Hist (Sk s)) -> Sketch.observe s v
+  | Some (Hist (Exact h)) -> exact_append name h v
+  | Some s -> clash name s
+  | None ->
+    let want_exact =
+      match exact with Some b -> b | None -> t.exact_default
+    in
+    let h =
+      if want_exact then Exact { buf = Array.make 64 0.0; n = 0 }
+      else Sk (Sketch.create ())
+    in
+    Hashtbl.add t.series name (Hist h);
+    observe_slow t exact name v
+
+let observe t ?exact name v =
+  match Hashtbl.find t.series name with
+  | Hist (Sk s) -> Sketch.observe s v
+  | Hist (Exact h) -> exact_append name h v
+  | _ -> observe_slow t exact name v
+  | exception Not_found -> observe_slow t exact name v
 
 let counter t name =
   match Hashtbl.find_opt t.series name with
-  | Some (Counter r) -> Some !r
+  | Some (Counter c) -> Some c.total
   | _ -> None
 
 let gauge t name =
   match Hashtbl.find_opt t.series name with
-  | Some (Gauge r) -> Some !r
+  | Some (Gauge g) -> Some g.value
+  | _ -> None
+
+let gauge_stamp t name =
+  match Hashtbl.find_opt t.series name with
+  | Some (Gauge g) -> Some g.stamp
   | _ -> None
 
 type summary = {
@@ -78,7 +127,7 @@ type summary = {
 
 let samples t name =
   match Hashtbl.find_opt t.series name with
-  | Some (Hist h) -> Some (Array.sub h.buf 0 h.n)
+  | Some (Hist (Exact h)) -> Some (Array.sub h.buf 0 h.n)
   | _ -> None
 
 let summarize xs =
@@ -94,28 +143,92 @@ let summarize xs =
     p99 = Stats.percentile xs 0.99;
   }
 
-let histogram t name = Option.map summarize (samples t name)
+let summarize_hist = function
+  | Exact h -> summarize (Array.sub h.buf 0 h.n)
+  | Sk s ->
+    {
+      count = Sketch.count s;
+      mean = Sketch.mean s;
+      min_v = Sketch.min_v s;
+      max_v = Sketch.max_v s;
+      p50 = Sketch.quantile s 0.5;
+      p95 = Sketch.quantile s 0.95;
+      p99 = Sketch.quantile s 0.99;
+    }
+
+let histogram t name =
+  match Hashtbl.find_opt t.series name with
+  | Some (Hist h) -> Some (summarize_hist h)
+  | _ -> None
 
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] |> List.sort compare
 
 let merge_into ~into src =
-  (* Sorted name order so merging many registries is deterministic; a kind
-     clash between the two registries raises through [lookup], same as a
-     clash inside one registry. *)
+  (* Sorted name order so merging many registries is deterministic; on
+     top of that, counters add and gauges resolve by latest stamp (ties
+     to the larger value), so every merge order yields the same
+     registry.  Only histogram [sum]/[mean] still depend on merge order
+     (float addition); callers merge shards in task-index order. *)
   List.iter
     (fun name ->
       match Hashtbl.find_opt src.series name with
       | None -> ()
-      | Some (Counter r) -> incr into ~by:!r name
-      | Some (Gauge r) -> set into name !r
-      | Some (Hist h) ->
+      | Some (Counter c) -> incr into ~by:c.total name
+      | Some (Gauge g) -> (
+        match Hashtbl.find_opt into.series name with
+        | Some (Gauge gi) ->
+          if
+            g.stamp > gi.stamp
+            || (g.stamp = gi.stamp && g.value > gi.value)
+          then begin
+            gi.value <- g.value;
+            gi.stamp <- g.stamp
+          end
+        | Some s -> clash name s
+        | None ->
+          Hashtbl.add into.series name (Gauge { value = g.value; stamp = g.stamp }))
+      | Some (Hist (Exact h)) ->
+        (* Exact samples replay into whatever [into] holds (or creates),
+           adopting the destination's mode. *)
         for i = 0 to h.n - 1 do
-          observe into name h.buf.(i)
-        done)
+          observe into ~exact:true name h.buf.(i)
+        done
+      | Some (Hist (Sk s)) -> (
+        match Hashtbl.find_opt into.series name with
+        | Some (Hist (Sk si)) -> Sketch.merge_into ~into:si s
+        | Some (Hist (Exact _)) ->
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.merge_into: %S is a sketch histogram in the source \
+                but exact in the destination (a sketch cannot be replayed \
+                into raw samples)"
+               name)
+        | Some other -> clash name other
+        | None ->
+          let fresh = Sketch.create () in
+          Sketch.merge_into ~into:fresh s;
+          Hashtbl.add into.series name (Hist (Sk fresh))))
     (names src)
 
 let is_empty t = Hashtbl.length t.series = 0
+
+let live_words t =
+  (* Estimate of heap words retained by the registry: per-series payload
+     plus the name string and a nominal hashtable-bucket overhead.  The
+     point is the trend BENCH_obs.json tracks, not byte accounting. *)
+  List.fold_left
+    (fun acc name ->
+      let payload =
+        match Hashtbl.find_opt t.series name with
+        | None -> 0
+        | Some (Counter _) -> 2
+        | Some (Gauge _) -> 3
+        | Some (Hist (Sk sk)) -> 2 + Sketch.live_words sk
+        | Some (Hist (Exact h)) -> 4 + Array.length h.buf + 1
+      in
+      acc + payload + ((String.length name + 8) / 8) + 4)
+    0 (names t)
 
 let to_json t =
   let of_kind keep render =
@@ -129,19 +242,19 @@ let to_json t =
   let counters =
     of_kind
       (function Counter _ -> true | _ -> false)
-      (function Counter r -> Json.number !r | _ -> assert false)
+      (function Counter c -> Json.number c.total | _ -> assert false)
   in
   let gauges =
     of_kind
       (function Gauge _ -> true | _ -> false)
-      (function Gauge r -> Json.number !r | _ -> assert false)
+      (function Gauge g -> Json.number g.value | _ -> assert false)
   in
   let hists =
     of_kind
       (function Hist _ -> true | _ -> false)
       (function
         | Hist h ->
-          let s = summarize (Array.sub h.buf 0 h.n) in
+          let s = summarize_hist h in
           Json.obj
             [
               ("count", Json.int s.count);
@@ -170,10 +283,10 @@ let to_table t =
   List.iter
     (fun name ->
       match Hashtbl.find_opt t.series name with
-      | Some (Counter r) -> Table.add_row table [ name; "counter"; num !r; ""; ""; "" ]
-      | Some (Gauge r) -> Table.add_row table [ name; "gauge"; num !r; ""; ""; "" ]
+      | Some (Counter c) -> Table.add_row table [ name; "counter"; num c.total; ""; ""; "" ]
+      | Some (Gauge g) -> Table.add_row table [ name; "gauge"; num g.value; ""; ""; "" ]
       | Some (Hist h) ->
-        let s = summarize (Array.sub h.buf 0 h.n) in
+        let s = summarize_hist h in
         Table.add_row table
           [
             name;

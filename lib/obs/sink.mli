@@ -9,20 +9,29 @@
 
 type t
 
-val create : ?capacity:int -> ?events:bool -> unit -> t
+val create : ?capacity:int -> ?events:bool -> ?exact_histograms:bool -> unit -> t
 (** A fresh sink retaining at most [capacity] (default 65,536) events.
 
     [~events:false] makes a {b counters-only} sink: {!span}, {!instant}
     and the timeline half of {!sample} become no-ops (no event record is
-    ever allocated) while the {!metrics} registry keeps aggregating.
-    Parallel sweeps use this for their private per-task sinks when the
-    caller's sink is itself counters-only, so per-point span records are
-    never built just for a merge to discard them. *)
+    ever allocated, and the ring shrinks to one slot) while the
+    {!metrics} registry keeps aggregating.  Parallel sweeps use this for
+    their private per-task sinks when the caller's sink is itself
+    counters-only, so per-point span records are never built just for a
+    merge to discard them.
+
+    [~exact_histograms] is handed to {!Metrics.create}: default [false]
+    (bounded-memory sketch histograms), [true] retains raw samples.
+    Sharded sweeps propagate the caller's setting to their private
+    sinks so shard merges never mix modes. *)
 
 val metrics : t -> Metrics.t
 
 val events_enabled : t -> bool
 (** [false] for a counters-only sink (created with [~events:false]). *)
+
+val exact_histograms : t -> bool
+(** The underlying registry's histogram mode. *)
 
 val span :
   ?cat:string -> ?args:(string * Event.arg) list -> t ->
@@ -37,7 +46,9 @@ val instant :
 
 val sample : t -> track:Event.track -> name:string -> ts_s:float -> float -> unit
 (** One counter-series sample on the timeline; also mirrors the latest
-    value into {!metrics} as a gauge under the same name. *)
+    value into {!metrics} as a gauge under the same name, stamped with
+    [ts_s] so shard merges resolve by sim time rather than merge
+    order. *)
 
 val merge_into : into:t -> t -> unit
 (** [merge_into ~into src] appends [src]'s retained events (oldest first)
@@ -54,3 +65,8 @@ val recorded : t -> int
 
 val dropped : t -> int
 (** Events evicted by the ring bound. *)
+
+val live_words : t -> int
+(** Estimated heap words retained by this sink: ring slots (event
+    payloads excluded) plus {!Metrics.live_words}.  The telemetry-memory
+    number BENCH_obs.json plots against request count. *)

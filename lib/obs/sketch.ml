@@ -1,0 +1,219 @@
+(* Fixed-bucket base-2 log-histogram.  Layout and error bound are
+   documented in the mli; the implementation constraints that shape the
+   code are:
+
+   - [observe] is an ALLOC-HOT Leaf hot path (see [Lint_config]), so the
+     bucket index comes from a binary search over a precomputed table of
+     exact power-of-two boundaries — no [frexp] (returns a tuple), no
+     [Int64.bits_of_float] (boxes), no local refs (box).  The search is
+     a top-level tail recursion over immediate ints.
+   - The float scalars live in their own all-float record so updating
+     them is a flat store, not a fresh float box per event.
+   - Determinism: bucket edges are exact powers of two and the sub-bucket
+     index is one divide (exact, power-of-two divisor) plus one
+     [int_of_float] truncation — identical on every platform. *)
+
+(* 32 linear sub-buckets per octave: relative half-width 1/64. *)
+let relative_error = 1.0 /. 64.0
+
+let octaves = 128 (* exponents -64 .. 63 *)
+let buckets = octaves * 32
+
+let tiny = Float.ldexp 1.0 (-64)
+let huge = Float.ldexp 1.0 64
+
+(* bounds.(o) = 2^(o - 64); octave o covers [bounds.(o), bounds.(o+1)). *)
+let bounds = Array.init (octaves + 1) (fun i -> Float.ldexp 1.0 (i - 64))
+
+type scalars = { mutable sum : float; mutable lo : float; mutable hi : float }
+
+type t = {
+  s : scalars;
+  mutable count : int;
+  mutable zero : int; (* |v| < 2^-64, including 0. and -0. *)
+  mutable pos_overflow : int; (* v >= 2^64, including +inf *)
+  mutable neg_overflow : int; (* v <= -(2^64), including -inf *)
+  pos : int array;
+  mutable neg : int array; (* [||] until the first negative sample *)
+}
+
+let create () =
+  {
+    s = { sum = 0.0; lo = infinity; hi = neg_infinity };
+    count = 0;
+    zero = 0;
+    pos_overflow = 0;
+    neg_overflow = 0;
+    pos = Array.make buckets 0;
+    neg = [||];
+  }
+
+(* Invariant: bounds.(lo) <= v < bounds.(hi); returns the octave index. *)
+let rec octave_pos v lo hi =
+  if hi - lo <= 1 then lo
+  else
+    let mid = (lo + hi) lsr 1 in
+    if v < Array.unsafe_get bounds mid then octave_pos v lo mid
+    else octave_pos v mid hi
+
+(* Mirror search for v < 0: bounds.(lo) <= -v < bounds.(hi), phrased as
+   comparisons on v itself so the magnitude is never materialized (a
+   [Float.abs] result crossing a call boundary would be boxed). *)
+let rec octave_neg v lo hi =
+  if hi - lo <= 1 then lo
+  else
+    let mid = (lo + hi) lsr 1 in
+    if v > -.Array.unsafe_get bounds mid then octave_neg v lo mid
+    else octave_neg v mid hi
+
+let bucket_index_pos v =
+  let o = octave_pos v 0 octaves in
+  (* v / 2^e is exact, so the sub-bucket is a pure truncation. *)
+  let s = int_of_float (((v /. Array.unsafe_get bounds o) -. 1.0) *. 32.0) in
+  let s = if s < 0 then 0 else if s > 31 then 31 else s in
+  (o lsl 5) + s
+
+let bucket_index_neg v =
+  let o = octave_neg v 0 octaves in
+  let s = int_of_float (((-.v /. Array.unsafe_get bounds o) -. 1.0) *. 32.0) in
+  let s = if s < 0 then 0 else if s > 31 then 31 else s in
+  (o lsl 5) + s
+
+(* Cold: runs at most once per sketch, on the first negative sample. *)
+let grow_neg t = t.neg <- Array.make buckets 0
+
+let observe t v =
+  if Float.is_nan v then invalid_arg "Sketch.observe: nan sample";
+  t.count <- t.count + 1;
+  t.s.sum <- t.s.sum +. v;
+  if v < t.s.lo then t.s.lo <- v;
+  if v > t.s.hi then t.s.hi <- v;
+  if v >= 0.0 then
+    if v < tiny then t.zero <- t.zero + 1
+    else if v >= huge then t.pos_overflow <- t.pos_overflow + 1
+    else begin
+      let i = bucket_index_pos v in
+      Array.unsafe_set t.pos i (Array.unsafe_get t.pos i + 1)
+    end
+  else if v > -.tiny then t.zero <- t.zero + 1
+  else if v <= -.huge then t.neg_overflow <- t.neg_overflow + 1
+  else begin
+    if Array.length t.neg = 0 then grow_neg t;
+    let i = bucket_index_neg v in
+    Array.unsafe_set t.neg i (Array.unsafe_get t.neg i + 1)
+  end
+
+let count t = t.count
+
+let sum t = t.s.sum
+
+let mean t = if t.count = 0 then nan else t.s.sum /. float_of_int t.count
+
+let min_v t = t.s.lo
+
+let max_v t = t.s.hi
+
+(* Midpoint of bucket [i]'s value range (positive side). *)
+let rep i =
+  let o = i lsr 5 and s = i land 31 in
+  bounds.(o) *. (1.0 +. ((float_of_int s +. 0.5) /. 32.0))
+
+let clamp t x = if x < t.s.lo then t.s.lo else if x > t.s.hi then t.s.hi else x
+
+(* Representative of the k-th (0-based) order statistic: walk buckets in
+   ascending value order.  O(buckets); quantile queries are report-time
+   only, never on the per-event path. *)
+let nth_interior t k =
+  let k = ref k in
+  let out = ref nan in
+  let found = ref false in
+  let take n r =
+    if not !found then
+      if !k < n then begin
+        out := clamp t r;
+        found := true
+      end
+      else k := !k - n
+  in
+  take t.neg_overflow t.s.lo;
+  if Array.length t.neg > 0 then
+    for i = buckets - 1 downto 0 do
+      take t.neg.(i) (-.rep i)
+    done;
+  take t.zero 0.0;
+  for i = 0 to buckets - 1 do
+    take t.pos.(i) (rep i)
+  done;
+  take t.pos_overflow t.s.hi;
+  !out
+
+(* The extreme order statistics are the exactly-tracked min and max, so
+   p = 0 and p = 1 (and every singleton) come out exact. *)
+let nth t k =
+  if k <= 0 then t.s.lo
+  else if k >= t.count - 1 then t.s.hi
+  else nth_interior t k
+
+let quantile t p =
+  (* Same validation, rank arithmetic and interpolation as
+     [Stats.percentile], with bucket representatives in place of the
+     sorted order statistics. *)
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg "Sketch.quantile: p out of range";
+  if t.count = 0 then nan
+  else begin
+    let rank = p *. float_of_int (t.count - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (lo + 1) (t.count - 1) in
+    let frac = rank -. float_of_int lo in
+    let xlo = nth t lo in
+    if hi = lo then xlo
+    else (xlo *. (1.0 -. frac)) +. (nth t hi *. frac)
+  end
+
+let merge_into ~into src =
+  into.count <- into.count + src.count;
+  into.s.sum <- into.s.sum +. src.s.sum;
+  if src.s.lo < into.s.lo then into.s.lo <- src.s.lo;
+  if src.s.hi > into.s.hi then into.s.hi <- src.s.hi;
+  into.zero <- into.zero + src.zero;
+  into.pos_overflow <- into.pos_overflow + src.pos_overflow;
+  into.neg_overflow <- into.neg_overflow + src.neg_overflow;
+  for i = 0 to buckets - 1 do
+    into.pos.(i) <- into.pos.(i) + src.pos.(i)
+  done;
+  if Array.length src.neg > 0 then begin
+    if Array.length into.neg = 0 then grow_neg into;
+    for i = 0 to buckets - 1 do
+      into.neg.(i) <- into.neg.(i) + src.neg.(i)
+    done
+  end
+
+let live_words t =
+  let arr a = if Array.length a = 0 then 0 else Array.length a + 1 in
+  (* t (7 fields) + scalars (3 float fields), each plus a header word. *)
+  8 + 4 + arr t.pos + arr t.neg
+
+let nonempty_buckets t =
+  let live = ref 0 in
+  let bump c = if c > 0 then Stdlib.incr live in
+  bump t.zero;
+  bump t.pos_overflow;
+  bump t.neg_overflow;
+  Array.iter bump t.pos;
+  Array.iter bump t.neg;
+  !live
+
+let to_json t =
+  Json.obj
+    [
+      ("count", Json.int t.count);
+      ("mean", Json.number (mean t));
+      ("min", Json.number t.s.lo);
+      ("max", Json.number t.s.hi);
+      ("p50", Json.number (quantile t 0.5));
+      ("p95", Json.number (quantile t 0.95));
+      ("p99", Json.number (quantile t 0.99));
+      ("error_bound", Json.number relative_error);
+      ("buckets", Json.int (nonempty_buckets t));
+    ]

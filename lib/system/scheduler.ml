@@ -357,9 +357,12 @@ let simulate ?tech ?(context = 2048) ?(context_aware = false) ?(slot_failures = 
     Hnlpu_obs.Metrics.incr m ~by:(float_of_int !tokens) "scheduler/tokens_processed";
     Hnlpu_obs.Metrics.incr m ~by:(float_of_int !decode_tokens_out)
       "scheduler/decode_tokens_out";
-    Hnlpu_obs.Metrics.set m "scheduler/makespan_s" makespan;
-    Hnlpu_obs.Metrics.set m "scheduler/throughput_tokens_per_s"
-      result.throughput_tokens_per_s;
-    Hnlpu_obs.Metrics.set m "scheduler/mean_slot_occupancy"
-      result.mean_slot_occupancy);
+    (* Stamped with end-of-run sim time: when sweep shards merge, the
+       longest-running shard's value wins whatever the merge order. *)
+    Hnlpu_obs.Metrics.set_stamped m ~stamp:makespan "scheduler/makespan_s"
+      makespan;
+    Hnlpu_obs.Metrics.set_stamped m ~stamp:makespan
+      "scheduler/throughput_tokens_per_s" result.throughput_tokens_per_s;
+    Hnlpu_obs.Metrics.set_stamped m ~stamp:makespan
+      "scheduler/mean_slot_occupancy" result.mean_slot_occupancy);
   result

@@ -21,26 +21,25 @@ let evaluate ?(seed = 1234) ?(requests = 150) ?(mean_prefill = 256)
     Scheduler.workload rng ~n:requests ~rate_per_s ~mean_prefill ~mean_decode
   in
   let r = Scheduler.simulate ?obs config reqs in
-  (* One scratch array serves both percentile queries (sorted in place),
-     instead of two arrays plus a copy per percentile call. *)
-  let n = List.length r.Scheduler.completed_requests in
-  let scratch = Array.make (Stdlib.max 1 n) 0.0 in
-  (* A recursive walk rather than [List.iteri f]: the iteration closure
-     was rebuilt on every [fill] call. *)
-  let rec fill f i = function
+  (* Two streaming sketches instead of a scratch sample array: constant
+     memory however many requests complete, quantiles within
+     [Sketch.relative_error] of the exact percentile (property-tested in
+     test_obs).  The recursive walk feeds both per cons cell, allocating
+     nothing per request. *)
+  let ttft_sk = Hnlpu_obs.Sketch.create () in
+  let e2e_sk = Hnlpu_obs.Sketch.create () in
+  let rec feed = function
     | [] -> ()
     | c :: rest ->
-      scratch.(i) <- f c -. c.Scheduler.request.Scheduler.arrival_s;
-      fill f (i + 1) rest
+      let arrival = c.Scheduler.request.Scheduler.arrival_s in
+      Hnlpu_obs.Sketch.observe ttft_sk (c.Scheduler.first_token_s -. arrival);
+      Hnlpu_obs.Sketch.observe e2e_sk (c.Scheduler.finish_s -. arrival);
+      feed rest
   in
-  fill (fun c -> c.Scheduler.first_token_s) 0 r.Scheduler.completed_requests;
-  let ttft_p95 =
-    if n = 0 then nan else Stats.percentile_in_place scratch 0.95
-  in
-  fill (fun c -> c.Scheduler.finish_s) 0 r.Scheduler.completed_requests;
-  let e2e_p95 =
-    if n = 0 then nan else Stats.percentile_in_place scratch 0.95
-  in
+  feed r.Scheduler.completed_requests;
+  (* Empty sketches yield [nan], matching the old empty-array path. *)
+  let ttft_p95 = Hnlpu_obs.Sketch.quantile ttft_sk 0.95 in
+  let e2e_p95 = Hnlpu_obs.Sketch.quantile e2e_sk 0.95 in
   {
     rate_per_s;
     throughput_tokens_per_s = r.Scheduler.throughput_tokens_per_s;
@@ -68,6 +67,7 @@ let sweep ?seed ?requests ?mean_prefill ?mean_decode ?domains ?obs config obj
       Array.init (List.length rates) (fun _ ->
           Hnlpu_obs.Sink.create
             ~events:(Hnlpu_obs.Sink.events_enabled parent)
+            ~exact_histograms:(Hnlpu_obs.Sink.exact_histograms parent)
             ())
   in
   let tagged = List.mapi (fun i r -> (i, r)) rates in

@@ -41,6 +41,10 @@ let percentile_in_place samples p =
     (* Float.compare, not polymorphic compare: same ordering (including
        nan), but the polymorphic path boxes both floats per comparison. *)
     Array.sort Float.compare samples;
+    (* Float.compare sorts nan before every number, so one O(1) probe
+       after the sort covers the whole array. *)
+    if Float.is_nan samples.(0) then
+      invalid_arg "Stats.percentile: nan sample";
     let n = Array.length samples in
     let rank = p *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) in

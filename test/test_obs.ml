@@ -589,6 +589,318 @@ let test_combined_timeline () =
   | Obj _ -> ()
   | _ -> Alcotest.fail "trace export is not a JSON object"
 
+(* --- Sketch: bounded-memory deterministic quantiles --------------------------- *)
+
+let feed_sketch xs =
+  let sk = Sketch.create () in
+  Array.iter (Sketch.observe sk) xs;
+  sk
+
+(* |sketch - exact| within the documented bound: 1/64 relative plus the
+   2^-64 zero-bucket absolute term, plus an fp-rounding whisker.  All
+   generators below produce non-negative samples, where the mli's
+   general bound collapses to this form. *)
+let within_bound exact est =
+  Float.abs (est -. exact)
+  <= (Sketch.relative_error *. Float.abs exact)
+     +. Float.ldexp 1.0 (-64)
+     +. (1e-12 *. Float.abs exact)
+
+let test_sketch_empty_and_singleton () =
+  let sk = Sketch.create () in
+  Alcotest.(check int) "empty count" 0 (Sketch.count sk);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Sketch.quantile sk 0.5));
+  Sketch.observe sk 7.25;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "singleton exact at p=%g" p)
+        7.25 (Sketch.quantile sk p))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  Alcotest.(check (float 0.0)) "singleton mean" 7.25 (Sketch.mean sk)
+
+let test_sketch_constant_and_extremes () =
+  let sk = feed_sketch (Array.make 1000 3.14) in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "constant exact at p=%g" p)
+        3.14 (Sketch.quantile sk p))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let xs = Array.init 999 (fun i -> float_of_int (i + 1)) in
+  let sk = feed_sketch xs in
+  (* p=0 and p=1 are the exactly tracked min and max. *)
+  Alcotest.(check (float 0.0)) "p0 is min" 1.0 (Sketch.quantile sk 0.0);
+  Alcotest.(check (float 0.0)) "p1 is max" 999.0 (Sketch.quantile sk 1.0);
+  Alcotest.(check (float 0.0)) "min_v" 1.0 (Sketch.min_v sk);
+  Alcotest.(check (float 0.0)) "max_v" 999.0 (Sketch.max_v sk)
+
+let test_sketch_rejects_bad_input () =
+  let sk = Sketch.create () in
+  Alcotest.(check bool) "nan sample raises" true
+    (match Sketch.observe sk nan with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Sketch.observe sk 1.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%g raises" p)
+        true
+        (match Sketch.quantile sk p with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ -0.1; 1.5; nan ]
+
+let test_sketch_deterministic_export () =
+  let xs = Array.init 5000 (fun i -> exp (float_of_int (i mod 97) /. 13.0)) in
+  let a = feed_sketch xs and b = feed_sketch xs in
+  Alcotest.(check string) "same inputs, byte-identical JSON"
+    (Sketch.to_json a) (Sketch.to_json b);
+  match parse_json (Sketch.to_json a) with
+  | Obj _ ->
+    Alcotest.(check int) "exported count" 5000
+      (int_of_float (as_num (member "count" (parse_json (Sketch.to_json a)))))
+  | _ -> Alcotest.fail "sketch export is not a JSON object"
+
+let test_sketch_merge_order_insensitive () =
+  let rng = Hnlpu.Rng.create 99 in
+  let xs = Array.init 4000 (fun _ -> exp (4.0 *. Hnlpu.Rng.float rng 1.0)) in
+  let part i = Array.init 1000 (fun j -> xs.((i * 1000) + j)) in
+  let shards () = Array.init 4 (fun i -> feed_sketch (part i)) in
+  let combined = feed_sketch xs in
+  let fwd = Sketch.create () and rev = Sketch.create () in
+  let s1 = shards () and s2 = shards () in
+  for i = 0 to 3 do
+    Sketch.merge_into ~into:fwd s1.(i);
+    Sketch.merge_into ~into:rev s2.(3 - i)
+  done;
+  List.iter
+    (fun p ->
+      let q = Sketch.quantile combined p in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "merge = combined at p=%g" p)
+        q (Sketch.quantile fwd p);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "reverse merge = combined at p=%g" p)
+        q (Sketch.quantile rev p))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  Alcotest.(check int) "count" (Sketch.count combined) (Sketch.count fwd);
+  Alcotest.(check (float 0.0)) "min" (Sketch.min_v combined) (Sketch.min_v fwd);
+  Alcotest.(check (float 0.0)) "max" (Sketch.max_v combined) (Sketch.max_v fwd);
+  Alcotest.(check (float 1e-9)) "mean within fp of combined"
+    (Sketch.mean combined) (Sketch.mean fwd)
+
+let test_sketch_memory_flat () =
+  let small = feed_sketch (Array.init 100 (fun i -> float_of_int (i + 1))) in
+  let rng = Hnlpu.Rng.create 3 in
+  let big =
+    feed_sketch
+      (Array.init 100_000 (fun _ -> exp (10.0 *. (Hnlpu.Rng.float rng 1.0 -. 0.5))))
+  in
+  Alcotest.(check int) "live words independent of sample count"
+    (Sketch.live_words small) (Sketch.live_words big);
+  (* Exact-mode registries grow with samples; sketch-backed ones don't. *)
+  let observe_n m ~exact n =
+    for i = 1 to n do
+      Metrics.observe m ~exact "h" (float_of_int i)
+    done
+  in
+  let sk_m = Metrics.create () and ex_m = Metrics.create () in
+  observe_n sk_m ~exact:false 50_000;
+  observe_n ex_m ~exact:true 50_000;
+  let sk_baseline = Metrics.live_words sk_m in
+  observe_n sk_m ~exact:false 50_000;
+  Alcotest.(check int) "sketch registry flat under 2x samples" sk_baseline
+    (Metrics.live_words sk_m);
+  Alcotest.(check bool) "exact registry is >10x larger" true
+    (Metrics.live_words ex_m > 10 * sk_baseline)
+
+let test_sketch_tiny_and_overflow () =
+  (* Below 2^-64 everything collapses into the zero bucket (absolute
+     error <= 2^-64); at or above 2^64 the overflow bucket reports the
+     exact observed extreme. *)
+  let sk = feed_sketch [| 0.0; 1e-30; 4.9e-324; 1e-22 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tiny magnitudes within 2^-64 at p=%g" p)
+        true
+        (Float.abs (Sketch.quantile sk p) <= Float.ldexp 1.0 (-64)))
+    [ 0.25; 0.5; 0.75 ];
+  let sk = feed_sketch [| 1.0; Float.ldexp 1.0 80; Float.ldexp 1.0 100 |] in
+  Alcotest.(check (float 0.0)) "overflow max exact"
+    (Float.ldexp 1.0 100) (Sketch.quantile sk 1.0);
+  let sk = feed_sketch [| -2.5; -1.0; 1.0; 2.5 |] in
+  Alcotest.(check bool) "negative median within bound" true
+    (within_bound 0.0 (Sketch.quantile sk 0.5));
+  Alcotest.(check (float 0.0)) "negative min exact" (-2.5)
+    (Sketch.quantile sk 0.0)
+
+(* QCheck: sketch p50/p95/p99 stay within the documented error bound of
+   the exact Stats.percentile over adversarial sample distributions. *)
+
+let quantile_points = [ 0.5; 0.95; 0.99 ]
+
+let sketch_agrees_with_exact xs =
+  let sk = feed_sketch xs in
+  List.for_all
+    (fun p -> within_bound (Hnlpu.Stats.percentile xs p) (Sketch.quantile sk p))
+    quantile_points
+
+let prop_sketch_heavy_tail =
+  QCheck.Test.make ~name:"sketch vs exact: heavy tail (lognormal-ish)" ~count:50
+    QCheck.(pair (int_range 1 3000) int)
+    (fun (n, seed) ->
+      let rng = Hnlpu.Rng.create seed in
+      sketch_agrees_with_exact
+        (Array.init n (fun _ ->
+             exp (10.0 *. (Hnlpu.Rng.float rng 1.0 -. 0.5)))))
+
+let prop_sketch_bimodal =
+  QCheck.Test.make ~name:"sketch vs exact: bimodal with a 1e6 gap" ~count:50
+    QCheck.(pair (int_range 1 3000) int)
+    (fun (n, seed) ->
+      let rng = Hnlpu.Rng.create seed in
+      sketch_agrees_with_exact
+        (Array.init n (fun _ ->
+             if Hnlpu.Rng.float rng 1.0 < 0.5 then
+               1e-3 *. (1.0 +. Hnlpu.Rng.float rng 0.5)
+             else 1e3 *. (1.0 +. Hnlpu.Rng.float rng 0.5))))
+
+let prop_sketch_constant =
+  QCheck.Test.make ~name:"sketch vs exact: constant arrays" ~count:100
+    QCheck.(pair (int_range 1 2000) (float_range 1e-12 1e12))
+    (fun (n, c) -> sketch_agrees_with_exact (Array.make n c))
+
+let prop_sketch_denormal_adjacent =
+  QCheck.Test.make
+    ~name:"sketch vs exact: denormal-adjacent magnitudes around 2^-64"
+    ~count:50
+    QCheck.(pair (int_range 1 2000) int)
+    (fun (n, seed) ->
+      let rng = Hnlpu.Rng.create seed in
+      (* Magnitudes from 2^-80 to 2^-50: straddles the zero-bucket
+         threshold, including true denormal territory. *)
+      sketch_agrees_with_exact
+        (Array.init n (fun _ ->
+             Float.ldexp (1.0 +. Hnlpu.Rng.float rng 1.0)
+               (-80 + int_of_float (30.0 *. Hnlpu.Rng.float rng 1.0)))))
+
+let prop_sketch_merge_split_invariant =
+  QCheck.Test.make
+    ~name:"sketch merge of any split = combined feed (quantiles exact)"
+    ~count:50
+    QCheck.(triple (int_range 2 2000) (int_range 0 10_000) int)
+    (fun (n, cut, seed) ->
+      let rng = Hnlpu.Rng.create seed in
+      let xs =
+        Array.init n (fun _ -> exp (8.0 *. (Hnlpu.Rng.float rng 1.0 -. 0.5)))
+      in
+      let k = cut mod n in
+      let a = feed_sketch (Array.sub xs 0 k) in
+      let b = feed_sketch (Array.sub xs k (n - k)) in
+      Sketch.merge_into ~into:a b;
+      let c = feed_sketch xs in
+      Sketch.count a = Sketch.count c
+      && List.for_all
+           (fun p -> Sketch.quantile a p = Sketch.quantile c p)
+           (0.0 :: 1.0 :: quantile_points))
+
+(* --- Gauge stamps: shard-merge order cannot change gauges --------------------- *)
+
+let test_gauge_stamp_merge () =
+  let mk stamp v =
+    let m = Metrics.create () in
+    Metrics.set_stamped m ~stamp "g" v;
+    m
+  in
+  let merged first second =
+    let into = Metrics.create () in
+    Metrics.merge_into ~into first;
+    Metrics.merge_into ~into second;
+    (Metrics.gauge into "g", Metrics.gauge_stamp into "g")
+  in
+  let a = mk 5.0 1.0 and b = mk 2.0 9.0 in
+  (* Latest stamp wins in both merge orders, even though the earlier
+     stamp carries the larger value. *)
+  Alcotest.(check (pair (option (float 0.0)) (option (float 0.0))))
+    "a then b keeps the latest-stamped value"
+    (Some 1.0, Some 5.0) (merged a b);
+  Alcotest.(check (pair (option (float 0.0)) (option (float 0.0))))
+    "b then a keeps the latest-stamped value"
+    (Some 1.0, Some 5.0) (merged b a);
+  (* Equal stamps: ties resolve to the larger value, same both ways. *)
+  let c = mk 3.0 4.0 and d = mk 3.0 6.0 in
+  Alcotest.(check (option (float 0.0))) "tie to larger (c,d)" (Some 6.0)
+    (fst (merged c d));
+  Alcotest.(check (option (float 0.0))) "tie to larger (d,c)" (Some 6.0)
+    (fst (merged d c));
+  (* An unstamped set carries stamp -inf, so any stamped write beats it. *)
+  let u = Metrics.create () in
+  Metrics.set u "g" 100.0;
+  Alcotest.(check (option (float 0.0))) "stamped beats unstamped" (Some 1.0)
+    (fst (merged u a));
+  Alcotest.(check (option (float 0.0))) "unstamped loses either way" (Some 1.0)
+    (fst (merged a u))
+
+let test_sink_sample_stamps () =
+  let o = Sink.create ~events:false () in
+  Sink.sample o ~track ~name:"q" ~ts_s:1.5 10.0;
+  Sink.sample o ~track ~name:"q" ~ts_s:4.5 2.0;
+  Alcotest.(check (option (float 0.0))) "value is the last sample" (Some 2.0)
+    (Metrics.gauge (Sink.metrics o) "q");
+  Alcotest.(check (option (float 0.0))) "stamp is the sample time" (Some 4.5)
+    (Metrics.gauge_stamp (Sink.metrics o) "q")
+
+let test_scheduler_shard_merge_order_free () =
+  (* Two different runs merged in both orders: identical registries,
+     including the stamped end-of-run gauges. *)
+  let shard seed =
+    let obs = Sink.create ~events:false () in
+    ignore (sched_run ~obs seed);
+    obs
+  in
+  let merge_json order =
+    let into = Sink.create ~events:false () in
+    List.iter (fun o -> Sink.merge_into ~into o) order;
+    Metrics.to_json (Sink.metrics into)
+  in
+  let a = shard 5 and b = shard 17 in
+  Alcotest.(check string) "merge order does not change merged metrics"
+    (merge_json [ a; b ]) (merge_json [ b; a ])
+
+(* --- Ring wraparound + counters-only parity ----------------------------------- *)
+
+let test_ring_wraparound_metrics_parity () =
+  (* A full sink whose ring is far too small (forced wraparound), a
+     roomy full sink, and a counters-only sink must all report the same
+     metric summaries for the same simulation: metric aggregation is
+     independent of event retention. *)
+  let run sink =
+    ignore (sched_run ~obs:sink 29);
+    Metrics.to_json (Sink.metrics sink)
+  in
+  let tiny = Sink.create ~capacity:8 () in
+  let roomy = Sink.create () in
+  let counters_only = Sink.create ~events:false () in
+  let j_tiny = run tiny and j_roomy = run roomy and j_off = run counters_only in
+  Alcotest.(check bool) "tiny ring actually wrapped" true
+    (Sink.dropped tiny > 0);
+  Alcotest.(check int) "tiny ring retains only its capacity" 8
+    (List.length (Sink.events tiny));
+  Alcotest.(check int) "counters-only retains nothing" 0
+    (Sink.recorded counters_only);
+  Alcotest.(check string) "wrapped ring, same metrics" j_roomy j_tiny;
+  Alcotest.(check string) "counters-only, same metrics" j_roomy j_off;
+  (* The sketch-backed histograms are included in that parity. *)
+  match
+    Metrics.histogram (Sink.metrics counters_only) "scheduler/ttft_s"
+  with
+  | None -> Alcotest.fail "no TTFT histogram on the counters-only sink"
+  | Some s -> Alcotest.(check bool) "histogram populated" true (s.Metrics.count > 0)
+
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
@@ -632,5 +944,42 @@ let () =
       ( "end-to-end",
         [ Alcotest.test_case "combined timeline" `Quick test_combined_timeline ]
       );
+      ( "sketch",
+        [
+          Alcotest.test_case "empty and singleton" `Quick
+            test_sketch_empty_and_singleton;
+          Alcotest.test_case "constant and extremes" `Quick
+            test_sketch_constant_and_extremes;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_sketch_rejects_bad_input;
+          Alcotest.test_case "deterministic export" `Quick
+            test_sketch_deterministic_export;
+          Alcotest.test_case "merge order-insensitive" `Quick
+            test_sketch_merge_order_insensitive;
+          Alcotest.test_case "memory flat" `Quick test_sketch_memory_flat;
+          Alcotest.test_case "tiny and overflow" `Quick
+            test_sketch_tiny_and_overflow;
+        ] );
+      ( "gauge-stamps",
+        [
+          Alcotest.test_case "merge by latest stamp" `Quick
+            test_gauge_stamp_merge;
+          Alcotest.test_case "sink sample stamps" `Quick test_sink_sample_stamps;
+          Alcotest.test_case "shard merge order free" `Quick
+            test_scheduler_shard_merge_order_free;
+        ] );
+      ( "ring-parity",
+        [
+          Alcotest.test_case "wraparound metrics parity" `Quick
+            test_ring_wraparound_metrics_parity;
+        ] );
       qsuite "properties" [ prop_spans_wellformed ];
+      qsuite "sketch-properties"
+        [
+          prop_sketch_heavy_tail;
+          prop_sketch_bimodal;
+          prop_sketch_constant;
+          prop_sketch_denormal_adjacent;
+          prop_sketch_merge_split_invariant;
+        ];
     ]

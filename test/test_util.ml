@@ -101,6 +101,28 @@ let test_stats_percentile_domain () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_stats_percentile_edges () =
+  (* A singleton returns its element for every p. *)
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "singleton at p=%g" p)
+        42.0
+        (Stats.percentile [| 42.0 |] p))
+    [ 0.0; 0.25; 0.5; 0.95; 1.0 ];
+  (* nan samples poison rank interpolation silently, so they are
+     rejected up front. *)
+  let raises xs =
+    match Stats.percentile xs 0.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "nan-only sample raises" true (raises [| nan |]);
+  Alcotest.(check bool) "nan among samples raises" true
+    (raises [| 1.0; nan; 3.0 |]);
+  Alcotest.(check bool) "infinities are still accepted" true
+    (not (raises [| 1.0; infinity |]))
+
 (* --- Units ----------------------------------------------------------- *)
 
 let test_units_si () =
@@ -174,6 +196,7 @@ let () =
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "percentile domain" `Quick test_stats_percentile_domain;
+          Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
         ] );
       ( "units",
         [
