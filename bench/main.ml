@@ -560,9 +560,190 @@ let par_report ?(path = "BENCH_par.json") () =
       output_char oc '\n');
   Printf.printf "Parallel benchmark -> %s (pool width %d)\n" path domains
 
+(* --- Fleet benchmark (BENCH_fleet.json) ----------------------------------- *)
+
+(* The fleet simulator's acceptance surface, measured: a 2,000-node,
+   10^6-request least-loaded run at j=1 and at the resolved pool width
+   (the two results must Marshal byte-identically — the sharded
+   determinism guarantee), allocation per request on the serial leg
+   (the ALLOC-HOT budget; worker-domain allocations are invisible to
+   Gc.allocated_bytes, so only j=1 is meaningful), telemetry retention
+   at 10^5 vs 10^6 requests (the flat-memory claim), and a policy x
+   fleet-size grid under a fail/recover schedule.  CI archives the JSON
+   and fails the build on an identity mismatch, a flatness ratio above
+   1.5x, or words/request above 2x the committed baseline. *)
+
+let fleet_sim_spec cfg =
+  (* Chat traffic offered at 85% of the fleet's fluid capacity: loaded
+     enough that routing quality shows up in the TTFT tail, below the
+     instability knee so makespan tracks the trace length. *)
+  let s = Hnlpu.Arrivals.chat ~rate_per_s:1.0 in
+  Hnlpu.Arrivals.with_mean_rate s
+    (0.85 *. Hnlpu.Fleet.capacity_req_per_s cfg s)
+
+let fleet_timed ?domains ?obs ?node_events ~policy ~requests cfg spec =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Hnlpu.Fleet.run ?domains ?obs ?node_events ~policy ~requests ~seed:7 cfg
+      spec
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let words =
+    (Gc.allocated_bytes () -. a0) /. float_of_int (Sys.word_size / 8)
+  in
+  (r, dt, words)
+
+let fleet_report ?(path = "BENCH_fleet.json") () =
+  let module J = Hnlpu.Obs.Json in
+  let domains = Hnlpu.Par.default_domains () in
+  let nodes = 2_000 and requests = 1_000_000 in
+  let cfg = Hnlpu.Fleet.config_of_model ~nodes config in
+  let spec = fleet_sim_spec cfg in
+  let ll = Hnlpu.Fleet.Least_loaded in
+  let r1, serial_s, serial_words =
+    fleet_timed ~domains:1 ~policy:ll ~requests cfg spec
+  in
+  let rj, parallel_s, _ = fleet_timed ~domains ~policy:ll ~requests cfg spec in
+  let identical =
+    String.equal (Marshal.to_string r1 []) (Marshal.to_string rj [])
+  in
+  let words_per_request = serial_words /. float_of_int requests in
+  let ttft_p50 = Hnlpu.Obs.Sketch.quantile r1.Hnlpu.Fleet.ttft 0.5 in
+  let ttft_p99 = Hnlpu.Obs.Sketch.quantile r1.Hnlpu.Fleet.ttft 0.99 in
+  Printf.printf
+    "  headline: %d nodes, %dk requests (ll): serial %.2f s, j=%d %.2f s \
+     (%.2fM req/s), %.1f words/request, TTFT p50 %.2f ms p99 %.2f ms%s\n%!"
+    nodes (requests / 1000) serial_s domains parallel_s
+    (float_of_int requests /. parallel_s /. 1e6)
+    words_per_request (ttft_p50 *. 1e3) (ttft_p99 *. 1e3)
+    (if identical then "" else "  [MISMATCH]");
+  (* Telemetry retention on an instrumented run must not grow with the
+     trace: counters-only sinks + fixed-bucket sketches. *)
+  let telemetry_words n =
+    let obs = Hnlpu.Obs.Sink.create ~events:false () in
+    let _, _, _ = fleet_timed ~obs ~policy:ll ~requests:n cfg spec in
+    Hnlpu.Obs.Sink.live_words obs
+  in
+  let words_1e5 = telemetry_words 100_000 in
+  let words_1e6 = telemetry_words 1_000_000 in
+  let flat_ratio = float_of_int words_1e6 /. float_of_int words_1e5 in
+  Printf.printf
+    "  telemetry: %d words at 100k requests, %d at 1M (x%.2f over 10x)\n%!"
+    words_1e5 words_1e6 flat_ratio;
+  (* Policy x fleet-size grid, 10%% of nodes failing a quarter into the
+     trace and recovering a quarter later.  Serial legs so words/request
+     stays measurable. *)
+  let grid_requests = 100_000 in
+  let grid_rows =
+    List.concat_map
+      (fun gn ->
+        let cfg = Hnlpu.Fleet.config_of_model ~nodes:gn config in
+        let spec = fleet_sim_spec cfg in
+        let quarter =
+          float_of_int grid_requests
+          /. Hnlpu.Arrivals.mean_rate_per_s spec /. 4.0
+        in
+        let events =
+          Hnlpu.Fleet.fail_recover_schedule ~nodes:gn ~fraction:0.1
+            ~at_s:quarter ~recover_after_s:quarter
+        in
+        List.map
+          (fun policy ->
+            let r, dt, words =
+              fleet_timed ~domains:1 ~node_events:events ~policy
+                ~requests:grid_requests cfg spec
+            in
+            let wpr = words /. float_of_int grid_requests in
+            let p50 = Hnlpu.Obs.Sketch.quantile r.Hnlpu.Fleet.ttft 0.5 in
+            let p99 = Hnlpu.Obs.Sketch.quantile r.Hnlpu.Fleet.ttft 0.99 in
+            Printf.printf
+              "  %4d nodes %-2s: %.2fM req/s sim, %.1f w/req, imbalance \
+               %.2fx, TTFT p50 %.2f ms p99 %.2f ms\n%!"
+              gn
+              (Hnlpu.Fleet.policy_name policy)
+              (float_of_int grid_requests /. dt /. 1e6)
+              wpr r.Hnlpu.Fleet.imbalance (p50 *. 1e3) (p99 *. 1e3);
+            J.obj
+              [
+                ("nodes", J.int gn);
+                ("policy", J.string (Hnlpu.Fleet.policy_name policy));
+                ("requests", J.int grid_requests);
+                ( "sim_requests_per_s",
+                  J.number (float_of_int grid_requests /. dt) );
+                ("words_per_request", J.number wpr);
+                ("imbalance", J.number r.Hnlpu.Fleet.imbalance);
+                ("ttft_p50_s", J.number p50);
+                ("ttft_p99_s", J.number p99);
+                ( "e2e_p99_s",
+                  J.number (Hnlpu.Obs.Sketch.quantile r.Hnlpu.Fleet.e2e 0.99)
+                );
+                ("dropped", J.int r.Hnlpu.Fleet.dropped);
+                ( "redispatched_tokens",
+                  J.number r.Hnlpu.Fleet.redispatched_tokens );
+              ])
+          [
+            Hnlpu.Fleet.Round_robin;
+            Hnlpu.Fleet.Least_loaded;
+            Hnlpu.Fleet.Session_affinity;
+            Hnlpu.Fleet.Power_aware;
+          ])
+      [ 500; 1_000; 2_000 ]
+  in
+  let json =
+    J.obj
+      [
+        ("benchmark", J.string "fleet-scale-serving");
+        ("config", J.string config.Hnlpu.Config.name);
+        ( "headline",
+          J.obj
+            [
+              ("nodes", J.int nodes);
+              ("shards", J.int cfg.Hnlpu.Fleet.shards);
+              ("requests", J.int requests);
+              ("policy", J.string "ll");
+              ("domains", J.int domains);
+              ("serial_s", J.number serial_s);
+              ("parallel_s", J.number parallel_s);
+              ( "sim_requests_per_s",
+                J.number (float_of_int requests /. parallel_s) );
+              ("words_per_request", J.number words_per_request);
+              ("identical", J.bool identical);
+              ( "throughput_tokens_per_s",
+                J.number r1.Hnlpu.Fleet.throughput_tokens_per_s );
+              ("imbalance", J.number r1.Hnlpu.Fleet.imbalance);
+              ("ttft_p50_s", J.number ttft_p50);
+              ("ttft_p99_s", J.number ttft_p99);
+              ("dispatched", J.int r1.Hnlpu.Fleet.dispatched);
+              ("dropped", J.int r1.Hnlpu.Fleet.dropped);
+            ] );
+        ( "telemetry",
+          J.obj
+            [
+              ("words_100k", J.int words_1e5);
+              ("words_1m", J.int words_1e6);
+              ("flat_ratio_10x", J.number flat_ratio);
+            ] );
+        ("grid", J.arr grid_rows);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "Fleet benchmark -> %s (pool width %d)\n" path domains
+
 let () =
   if Array.exists (( = ) "--serving-only") Sys.argv then begin
     serving_report ();
+    exit 0
+  end;
+  if Array.exists (( = ) "--fleet") Sys.argv then begin
+    print_endline
+      "Fleet-scale serving benchmark (2,000 nodes, 10^6-request traces)";
+    fleet_report ();
     exit 0
   end;
   if Array.exists (( = ) "--obs-scale") Sys.argv then begin

@@ -736,31 +736,219 @@ let slo_cmd =
 (* --- fleet --------------------------------------------------------------------- *)
 
 let fleet_cmd =
-  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"HNLPU systems.") in
-  let n = Arg.(value & opt int 800 & info [ "requests"; "n" ] ~doc:"Requests.") in
-  let run nodes n =
-    let reqs =
-      Scheduler.workload (Rng.create 7) ~n ~rate_per_s:1.0e9 ~mean_prefill:150
-        ~mean_decode:4
+  let nodes =
+    Arg.(value & opt int 64 & info [ "nodes" ] ~doc:"Fleet size (HNLPU nodes).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:
+            "Determinism granule: the node range splits into this many \
+             shards regardless of -j (default min(8, nodes)).")
+  in
+  let n =
+    Arg.(value & opt int 200_000 & info [ "requests"; "n" ] ~doc:"Trace length.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "ll"
+      & info [ "policy" ]
+          ~doc:"Routing policy: rr, ll, sa, or pa (see the README).")
+  in
+  let process =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "process" ] ~doc:"Arrival process: poisson, diurnal, or mmpp.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ]
+          ~doc:"Offered request rate (req/s; default 80% of fleet capacity).")
+  in
+  let prefill =
+    Arg.(value & opt int 128 & info [ "prefill" ] ~doc:"Mean prompt tokens.")
+  in
+  let decode =
+    Arg.(value & opt int 128 & info [ "decode" ] ~doc:"Mean decode tokens.")
+  in
+  let pareto =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "pareto" ] ~docv:"ALPHA"
+          ~doc:
+            "Draw decode lengths from a Pareto tail with this shape \
+             (same mean as --decode) instead of Geometric.")
+  in
+  let users =
+    Arg.(value & opt int 10_000 & info [ "users" ] ~doc:"Distinct user ids.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Trace seed.") in
+  let fail =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail" ] ~docv:"FRACTION"
+          ~doc:
+            "Fail this fraction of nodes a quarter into the trace, \
+             recovering them a quarter later.")
+  in
+  let sweep =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "sweep" ] ~docv:"U1,U2,..."
+          ~doc:
+            "Instead of one run, sweep the SLO capacity frontier: all four \
+             policies at these fractions of fleet capacity.")
+  in
+  let run jobs nodes shards n policy process rate prefill decode pareto users
+      seed fail sweep =
+    set_jobs jobs;
+    let die msg =
+      prerr_endline ("hnlpu fleet: " ^ msg);
+      exit 1
     in
-    let r = Multi_node.simulate ~nodes config reqs in
-    Printf.printf "%d nodes, %d requests (%s tokens): %s tokens/s aggregate\n"
-      nodes n
-      (Units.group_thousands r.Multi_node.total_tokens)
-      (Units.group_thousands (int_of_float r.Multi_node.aggregate_throughput_tokens_per_s));
-    Printf.printf "imbalance %.2fx; scaling efficiency %.2f\n" r.Multi_node.imbalance
-      (Multi_node.scaling_efficiency ~nodes config reqs);
-    List.iter
-      (fun s ->
-        Printf.printf "  node %d: %d requests, %s tokens, occupancy %s\n"
-          s.Multi_node.node s.Multi_node.requests
-          (Units.group_thousands s.Multi_node.tokens)
-          (Units.percent s.Multi_node.occupancy))
-      r.Multi_node.per_node
+    let shards = match shards with Some s -> s | None -> min 8 nodes in
+    let cfg = Fleet.config_of_model ~shards ~nodes config in
+    let decode_dist =
+      match pareto with
+      | None -> Arrivals.Geometric { mean = decode }
+      | Some alpha ->
+        if alpha <= 1.0 then die "--pareto ALPHA must exceed 1 (finite mean)";
+        (* xmin chosen so the (uncapped) Pareto mean alpha*xmin/(alpha-1)
+           equals the requested --decode mean. *)
+        Arrivals.Pareto
+          {
+            alpha;
+            xmin = float_of_int decode *. (alpha -. 1.0) /. alpha;
+            cap = 100 * decode;
+          }
+    in
+    let proc =
+      (* Rates here are placeholders: [with_mean_rate] rescales the whole
+         process to the offered rate below. *)
+      match String.lowercase_ascii process with
+      | "poisson" -> Arrivals.Poisson { rate_per_s = 1.0 }
+      | "diurnal" ->
+        Arrivals.Diurnal
+          { mean_rate_per_s = 1.0; amplitude = 0.6; period_s = 3600.0 }
+      | "mmpp" ->
+        Arrivals.Mmpp { rates_per_s = [| 0.5; 2.0 |]; mean_dwell_s = 60.0 }
+      | p -> die (Printf.sprintf "unknown process %S (poisson|diurnal|mmpp)" p)
+    in
+    let spec =
+      {
+        Arrivals.process = proc;
+        prefill = Arrivals.Geometric { mean = prefill };
+        decode = decode_dist;
+        users;
+      }
+    in
+    let capacity = Fleet.capacity_req_per_s cfg spec in
+    let offered = match rate with Some r -> r | None -> 0.8 *. capacity in
+    let spec = Arrivals.with_mean_rate spec offered in
+    let node_events =
+      match fail with
+      | None -> None
+      | Some fraction ->
+        let quarter = float_of_int n /. offered /. 4.0 in
+        Some
+          (Fleet.fail_recover_schedule ~nodes ~fraction ~at_s:quarter
+             ~recover_after_s:quarter)
+    in
+    Printf.printf
+      "%d nodes (%d shards), capacity %.0f req/s at %d+%d tokens; offering \
+       %.0f req/s (%.0f%%)\n"
+      nodes shards capacity prefill decode offered
+      (100.0 *. offered /. capacity);
+    match sweep with
+    | Some fractions ->
+      let rates = List.map (fun u -> u *. capacity) fractions in
+      let points =
+        Fleet.sweep ?node_events
+          ~policies:
+            [
+              Fleet.Round_robin;
+              Fleet.Least_loaded;
+              Fleet.Session_affinity;
+              Fleet.Power_aware;
+            ]
+          ~rates ~requests:n ~seed Fleet.interactive cfg spec
+      in
+      let t =
+        Table.create
+          ~headers:
+            [
+              "Policy"; "Offered (req/s)"; "Capacity"; "TTFT p50"; "TTFT p99";
+              "E2E p99"; "Imbalance"; "Tokens/s"; "Dropped"; "SLO";
+            ]
+      in
+      List.iter
+        (fun p ->
+          Table.add_row t
+            [
+              Fleet.policy_name p.Fleet.fp_policy;
+              Printf.sprintf "%.0f" p.Fleet.offered_req_per_s;
+              Units.percent p.Fleet.utilization_of_capacity;
+              Units.seconds p.Fleet.ttft_p50_s;
+              Units.seconds p.Fleet.ttft_p99_s;
+              Units.seconds p.Fleet.e2e_p99_s;
+              Printf.sprintf "%.2fx" p.Fleet.fp_imbalance;
+              Units.group_thousands
+                (int_of_float p.Fleet.fp_throughput_tokens_per_s);
+              string_of_int p.Fleet.fp_dropped;
+              (if p.Fleet.meets_slo then "yes" else "NO");
+            ])
+        points;
+      Table.print
+        ~title:
+          (Printf.sprintf
+             "SLO capacity frontier (%d requests; TTFT p99 <= %gs, E2E p99 \
+              <= %gs)"
+             n Fleet.interactive.Fleet.max_ttft_p99_s
+             Fleet.interactive.Fleet.max_e2e_p99_s)
+        t
+    | None ->
+      let policy =
+        match Fleet.policy_of_string policy with
+        | Some p -> p
+        | None -> die (Printf.sprintf "unknown policy %S (rr|ll|sa|pa)" policy)
+      in
+      let r = Fleet.run ?node_events ~policy ~requests:n ~seed cfg spec in
+      Printf.printf
+        "%s: %d dispatched, %d dropped, %s tokens (%s redispatched) in %s \
+         simulated\n"
+        (Fleet.policy_name policy) r.Fleet.dispatched r.Fleet.dropped
+        (Units.group_thousands (int_of_float r.Fleet.total_tokens))
+        (Units.group_thousands (int_of_float r.Fleet.redispatched_tokens))
+        (Units.seconds r.Fleet.makespan_s);
+      Printf.printf
+        "throughput %s tokens/s; imbalance %.2fx; mean utilization %s\n"
+        (Units.group_thousands (int_of_float r.Fleet.throughput_tokens_per_s))
+        r.Fleet.imbalance
+        (Units.percent r.Fleet.mean_utilization);
+      Printf.printf "TTFT p50 %s  p99 %s; E2E p99 %s; queue wait p99 %s\n"
+        (Units.seconds (Obs.Sketch.quantile r.Fleet.ttft 0.5))
+        (Units.seconds (Obs.Sketch.quantile r.Fleet.ttft 0.99))
+        (Units.seconds (Obs.Sketch.quantile r.Fleet.e2e 0.99))
+        (Units.seconds (Obs.Sketch.quantile r.Fleet.queue_wait 0.99));
+      Printf.printf "peak rack hot %d/%d (cap %d); power-cap overrides %d\n"
+        r.Fleet.peak_rack_hot cfg.Fleet.rack_size cfg.Fleet.rack_power_cap
+        r.Fleet.power_cap_overrides
   in
   Cmd.v
-    (Cmd.info "fleet" ~doc:"Multi-node deployment simulation")
-    Term.(const run $ nodes $ n)
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale serving simulation (thousands of nodes, streaming \
+          traces, routing policies)")
+    Term.(
+      const run $ jobs_arg $ nodes $ shards $ n $ policy $ process $ rate
+      $ prefill $ decode $ pareto $ users $ seed $ fail $ sweep)
 
 (* --- equivalence ----------------------------------------------------------------- *)
 

@@ -52,7 +52,26 @@ let default_hot_paths =
     ("Hnlpu_obs.Metrics.incr", Leaf);
     ("Hnlpu_obs.Metrics.set_stamped", Leaf);
     ("Hnlpu_system.Scheduler.simulate", Driver);
+    ("Hnlpu_system.Scheduler.workload", Driver);
     ("Hnlpu_system.Slo.evaluate", Driver);
+    (* Fleet-scale serving: the trace cursor and the dispatch fast path
+       run once per simulated request at 10⁶-10⁷ requests per run.  The
+       [Fleet.Hot] submodule is the entire per-request path (heap sifts,
+       routing, assignment, power tracking); [run_shard] is the driver
+       loop around it, and [Arrivals.next] with its emit/draw helpers is
+       the generator side. *)
+    ("Hnlpu_system.Arrivals.next", Leaf);
+    ("Hnlpu_system.Arrivals.unit_draw", Leaf);
+    ("Hnlpu_system.Arrivals.exp_draw", Leaf);
+    ("Hnlpu_system.Arrivals.draw_tokens", Leaf);
+    ("Hnlpu_system.Arrivals.emit_diurnal", Leaf);
+    ("Hnlpu_system.Arrivals.emit_mmpp", Leaf);
+    ("Hnlpu_system.Fleet.Hot", Leaf);
+    ("Hnlpu_system.Fleet.hash_user", Leaf);
+    ("Hnlpu_system.Fleet.shard_of_node", Leaf);
+    ("Hnlpu_system.Fleet.apply_event", Leaf);
+    ("Hnlpu_system.Fleet.route_redispatch", Leaf);
+    ("Hnlpu_system.Fleet.run_shard", Driver);
   ]
 
 let default = { hot_paths = default_hot_paths }

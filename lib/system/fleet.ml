@@ -1,0 +1,780 @@
+(* Fleet-scale cluster simulator.  See the .mli for the model and the
+   sharding/determinism contract.
+
+   Layout notes, because this is an ALLOC-HOT hot path at 10⁶–10⁷
+   requests:
+
+   - all per-node state is flat arrays indexed by shard-local node id
+     (float stores into [float array] are unboxed writes);
+   - the per-shard mutable float scalars live in the all-float record
+     [sfl] (flat representation, no boxing on store);
+   - the least-loaded structure is an {e indexed} binary min-heap — two
+     int arrays [heap]/[pos] over the [free_at] key array — so routing
+     is O(log n) and re-keying a node after assignment is a sift, not a
+     rebuild; ties break toward the lower node id, reproducing the
+     historical first-minimum scan exactly;
+   - hot/idle power tracking uses a lazy-deletion deadline heap: one
+     entry per hot {e period} (re-pushed on pop while still busy), not
+     per request;
+   - everything request-rate-proportional lives in [module Hot], which
+     Lint_config registers as an ALLOC-HOT Leaf (any allocation is an
+     error); [run_shard] is the Driver around it. *)
+
+open Hnlpu_util
+open Hnlpu_obs
+module Par = Hnlpu_par.Par
+
+type policy = Round_robin | Least_loaded | Session_affinity | Power_aware
+
+let policy_name = function
+  | Round_robin -> "rr"
+  | Least_loaded -> "ll"
+  | Session_affinity -> "sa"
+  | Power_aware -> "pa"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "rr" | "round_robin" | "round-robin" -> Some Round_robin
+  | "ll" | "least_loaded" | "least-loaded" -> Some Least_loaded
+  | "sa" | "session_affinity" | "session-affinity" -> Some Session_affinity
+  | "pa" | "power_aware" | "power-aware" -> Some Power_aware
+  | _ -> None
+
+type node_event_kind = Fail | Drain | Recover
+
+type node_event = { at_s : float; node : int; kind : node_event_kind }
+
+let fail_recover_schedule ~nodes ~fraction ~at_s ~recover_after_s =
+  if nodes < 1 then invalid_arg "Fleet.fail_recover_schedule: nodes < 1";
+  if not (fraction > 0.0 && fraction <= 1.0) then
+    invalid_arg "Fleet.fail_recover_schedule: fraction outside (0, 1]";
+  if not (recover_after_s > 0.0) then
+    invalid_arg "Fleet.fail_recover_schedule: recover_after_s <= 0";
+  let step = max 1 (int_of_float (1.0 /. fraction)) in
+  let count = (nodes + step - 1) / step in
+  Array.init (2 * count) (fun i ->
+      if i < count then { at_s; node = i * step; kind = Fail }
+      else
+        {
+          at_s = at_s +. recover_after_s;
+          node = (i - count) * step;
+          kind = Recover;
+        })
+
+type config = {
+  nodes : int;
+  shards : int;
+  rack_size : int;
+  rack_power_cap : int;
+  idle_after_s : float;
+  prefill_tokens_per_s : float;
+  decode_tokens_per_s : float;
+  decode_token_latency_s : float;
+}
+
+let validate_config c =
+  if c.nodes < 1 then invalid_arg "Fleet: nodes < 1";
+  if c.shards < 1 || c.shards > c.nodes then
+    invalid_arg "Fleet: shards outside [1, nodes]";
+  if c.rack_size < 1 then invalid_arg "Fleet: rack_size < 1";
+  if c.rack_power_cap < 1 then invalid_arg "Fleet: rack_power_cap < 1";
+  if not (c.idle_after_s >= 0.0) then invalid_arg "Fleet: idle_after_s < 0";
+  if not (c.prefill_tokens_per_s > 0.0) then
+    invalid_arg "Fleet: prefill_tokens_per_s <= 0";
+  if not (c.decode_tokens_per_s > 0.0) then
+    invalid_arg "Fleet: decode_tokens_per_s <= 0";
+  if not (c.decode_token_latency_s > 0.0) then
+    invalid_arg "Fleet: decode_token_latency_s <= 0"
+
+let config_of_model ?tech ?(context = 2048) ?(shards = 8) ?(rack_size = 16)
+    ?(rack_power_cap = 12) ~nodes mconfig =
+  {
+    nodes;
+    shards = min shards (max 1 nodes);
+    rack_size;
+    rack_power_cap;
+    idle_after_s = 30.0;
+    prefill_tokens_per_s =
+      Perf.prefill_throughput_tokens_per_s ?tech mconfig ~chunk:8 ~context;
+    decode_tokens_per_s = Perf.throughput_tokens_per_s ?tech mconfig ~context;
+    decode_token_latency_s = Perf.token_latency_cached ?tech mconfig ~context;
+  }
+
+let capacity_req_per_s cfg (spec : Arrivals.spec) =
+  let p = Arrivals.mean_tokens spec.Arrivals.prefill in
+  let d = Arrivals.mean_tokens spec.Arrivals.decode in
+  let service_s =
+    (p /. cfg.prefill_tokens_per_s) +. (d /. cfg.decode_tokens_per_s)
+  in
+  float cfg.nodes /. service_s
+
+(* SplitMix64-style finalizer (62-bit-safe multipliers): users with
+   adjacent ids must land on unrelated home nodes. *)
+let hash_user u =
+  let h = u lxor (u lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x1DA4B32DD35C9D1 in
+  let h = h lxor (h lsr 32) in
+  h land max_int
+
+(* Shard ranges are [k*nodes/shards, (k+1)*nodes/shards).  The
+   proportional guess [g*shards/nodes] is exact or one low (floor
+   arithmetic), never high — one upward correction suffices. *)
+let shard_of_node g ~nodes ~shards =
+  let k = g * shards / nodes in
+  let k = if k >= shards then shards - 1 else k in
+  if k + 1 < shards && g >= (k + 1) * nodes / shards then k + 1 else k
+
+(* Per-shard mutable float scalars, all-float for flat stores.  [now_s]
+   is how simulated time reaches the [Hot] helpers: a float argument to
+   a non-inlined call is boxed at every call site, a store into an
+   all-float record is flat. *)
+type sfl = {
+  mutable now_s : float;
+  mutable busy_s : float;
+  mutable makespan_s : float;
+  mutable tokens : float;
+  mutable redispatched : float;
+}
+
+type shard_state = {
+  lo : int;  (* first global node id of the shard *)
+  n : int;  (* nodes owned by the shard *)
+  total_nodes : int;
+  total_shards : int;
+  rack_size : int;
+  rack_cap : int;
+  idle_after_s : float;
+  prefill_rate : float;
+  decode_rate : float;
+  tok_lat : float;
+  free_at : float array;  (* next-free time per node *)
+  node_tokens : float array;
+  node_requests : int array;
+  status : int array;  (* 0 active / 1 drained / 2 failed *)
+  heap : int array;  (* heap slot -> node id, keyed by free_at *)
+  pos : int array;  (* node id -> heap slot, -1 when absent *)
+  mutable heap_len : int;
+  hot : int array;  (* 0 cold / 1 hot *)
+  rack_hot : int array;
+  idle : int Heap.t;  (* lazy-deletion cool-down deadlines *)
+  scratch : int array;  (* Power_aware pop stash *)
+  mutable scratch_len : int;
+  mutable peak_rack_hot : int;
+  mutable overrides : int;
+  mutable rr : int;
+  mutable dispatched : int;
+  mutable dropped : int;
+  fl : sfl;
+  ttft : Sketch.t;
+  e2e : Sketch.t;
+  queue : Sketch.t;
+  m : Metrics.t option;
+}
+
+(* Everything request-rate-proportional: registered as an ALLOC-HOT Leaf
+   (Lint_config), so any allocation below is a lint error. *)
+module Hot = struct
+  (* Lexicographic (free_at, id): among equally-free nodes the lower id
+     wins, matching the historical first-minimum scan. *)
+  let less st i j =
+    st.free_at.(i) < st.free_at.(j)
+    || (st.free_at.(i) = st.free_at.(j) && i < j)
+
+  let rec sift_up st p =
+    if p > 0 then begin
+      let parent = (p - 1) / 2 in
+      let i = st.heap.(p) and j = st.heap.(parent) in
+      if less st i j then begin
+        st.heap.(p) <- j;
+        st.pos.(j) <- p;
+        st.heap.(parent) <- i;
+        st.pos.(i) <- parent;
+        sift_up st parent
+      end
+    end
+
+  let rec sift_down st p =
+    let l = (2 * p) + 1 in
+    if l < st.heap_len then begin
+      let r = l + 1 in
+      let s =
+        if r < st.heap_len && less st st.heap.(r) st.heap.(l) then r else l
+      in
+      if less st st.heap.(s) st.heap.(p) then begin
+        let a = st.heap.(p) and b = st.heap.(s) in
+        st.heap.(p) <- b;
+        st.pos.(b) <- p;
+        st.heap.(s) <- a;
+        st.pos.(a) <- s;
+        sift_down st s
+      end
+    end
+
+  let heap_add st i =
+    let p = st.heap_len in
+    st.heap_len <- p + 1;
+    st.heap.(p) <- i;
+    st.pos.(i) <- p;
+    sift_up st p
+
+  let heap_remove st i =
+    let p = st.pos.(i) in
+    if p >= 0 then begin
+      let last = st.heap_len - 1 in
+      st.heap_len <- last;
+      st.pos.(i) <- -1;
+      if p <> last then begin
+        let j = st.heap.(last) in
+        st.heap.(p) <- j;
+        st.pos.(j) <- p;
+        sift_up st p;
+        sift_down st p
+      end
+    end
+
+  (* [free_at] only ever grows, so a re-key is a pure sift-down. *)
+  let heap_update st i =
+    let p = st.pos.(i) in
+    if p >= 0 then sift_down st p
+
+  (* The cool-down deadline reads the node's just-updated [free_at]
+     rather than taking the finish time as a (boxed) float argument. *)
+  let mark_hot st i =
+    if st.hot.(i) = 0 then begin
+      st.hot.(i) <- 1;
+      let r = i / st.rack_size in
+      let h = st.rack_hot.(r) + 1 in
+      st.rack_hot.(r) <- h;
+      if h > st.peak_rack_hot then st.peak_rack_hot <- h;
+      Heap.push st.idle ~priority:(st.free_at.(i) +. st.idle_after_s) i
+    end
+
+  (* Retire cool-down deadlines that have passed; an entry whose node
+     got more work since is re-pushed at its new deadline (lazy
+     deletion, one live entry per hot period). *)
+  let rec drain_idle st =
+    if
+      (not (Heap.is_empty st.idle))
+      && Heap.min_priority st.idle <= st.fl.now_s
+    then begin
+      let i = Heap.take_min st.idle in
+      if st.hot.(i) = 1 then begin
+        let deadline = st.free_at.(i) +. st.idle_after_s in
+        if deadline <= st.fl.now_s then begin
+          st.hot.(i) <- 0;
+          st.rack_hot.(i / st.rack_size) <- st.rack_hot.(i / st.rack_size) - 1
+        end
+        else Heap.push st.idle ~priority:deadline i
+      end;
+      drain_idle st
+    end
+
+  (* First active node at/after local index [l], wrapping; -1 if none. *)
+  let rec probe_active st l tries =
+    if tries = 0 then -1
+    else if st.status.(l) = 0 then l
+    else probe_active st (if l + 1 = st.n then 0 else l + 1) (tries - 1)
+
+  let route_rr st =
+    let start = st.rr mod st.n in
+    st.rr <- st.rr + 1;
+    probe_active st start st.n
+
+  let route_ll st = if st.heap_len = 0 then -1 else st.heap.(0)
+
+  let route_sa st user =
+    let home = hash_user user mod st.total_nodes in
+    probe_active st (home - st.lo) st.n
+
+  (* Pop heap minima that would power up a capped rack, stashing them
+     for restoration; accept the first node that is already hot or in
+     an under-cap rack. *)
+  let rec pa_pop st =
+    if st.heap_len = 0 then -1
+    else begin
+      let i = st.heap.(0) in
+      if st.hot.(i) = 1 || st.rack_hot.(i / st.rack_size) < st.rack_cap then i
+      else begin
+        heap_remove st i;
+        st.scratch.(st.scratch_len) <- i;
+        st.scratch_len <- st.scratch_len + 1;
+        pa_pop st
+      end
+    end
+
+  let rec pa_restore st k =
+    if k < st.scratch_len then begin
+      heap_add st st.scratch.(k);
+      pa_restore st (k + 1)
+    end
+
+  let route_pa st =
+    st.scratch_len <- 0;
+    let choice = pa_pop st in
+    let all_capped = choice < 0 && st.scratch_len > 0 in
+    pa_restore st 0;
+    st.scratch_len <- 0;
+    if choice >= 0 then choice
+    else if all_capped then begin
+      (* Every active node is cold inside a capped rack: power up past
+         the cap rather than drop the request, and count the override. *)
+      st.overrides <- st.overrides + 1;
+      route_ll st
+    end
+    else -1
+
+  let route st policy user =
+    match policy with
+    | Round_robin -> route_rr st
+    | Least_loaded -> route_ll st
+    | Session_affinity -> route_sa st user
+    | Power_aware -> route_pa st
+
+  let assign st p d idx =
+    let now = st.fl.now_s in
+    let pf = float p and df = float d in
+    let prefill_s = pf /. st.prefill_rate in
+    let free = st.free_at.(idx) in
+    let start = if free > now then free else now in
+    let queue = start -. now in
+    let ttft = queue +. prefill_s +. st.tok_lat in
+    let e2e = queue +. prefill_s +. (df *. st.tok_lat) in
+    let service_s = prefill_s +. (df /. st.decode_rate) in
+    let finish = start +. service_s in
+    st.free_at.(idx) <- finish;
+    heap_update st idx;
+    mark_hot st idx;
+    st.node_tokens.(idx) <- st.node_tokens.(idx) +. pf +. df;
+    st.node_requests.(idx) <- st.node_requests.(idx) + 1;
+    st.dispatched <- st.dispatched + 1;
+    st.fl.busy_s <- st.fl.busy_s +. service_s;
+    st.fl.tokens <- st.fl.tokens +. pf +. df;
+    let completion = now +. e2e in
+    let span = if finish > completion then finish else completion in
+    if span > st.fl.makespan_s then st.fl.makespan_s <- span;
+    Sketch.observe st.ttft ttft;
+    Sketch.observe st.e2e e2e;
+    Sketch.observe st.queue queue;
+    match st.m with
+    | None -> ()
+    | Some m ->
+        (* Token totals land once per shard in the epilogue: a per-request
+           [incr ~by] would allocate the optional's [Some] every event. *)
+        Metrics.incr m "fleet/requests";
+        Metrics.observe m "fleet/ttft_s" ttft;
+        Metrics.observe m "fleet/e2e_s" e2e;
+        Metrics.observe m "fleet/queue_wait_s" queue
+end
+
+(* Failed nodes re-dispatch through the policy; for session affinity the
+   natural rebind is the next node after the dead home. *)
+let route_redispatch st policy failed_local =
+  match policy with
+  | Session_affinity ->
+      Hot.probe_active st
+        (if failed_local + 1 = st.n then 0 else failed_local + 1)
+        st.n
+  | Round_robin | Least_loaded | Power_aware -> Hot.route st policy 0
+
+let apply_event st policy ev =
+  let g = ev.node in
+  if g >= st.lo && g < st.lo + st.n then begin
+    let i = g - st.lo in
+    match ev.kind with
+    | Drain -> if st.status.(i) = 0 then begin
+        st.status.(i) <- 1;
+        Hot.heap_remove st i
+      end
+    | Fail ->
+        if st.status.(i) <> 2 then begin
+          if st.status.(i) = 0 then Hot.heap_remove st i;
+          st.status.(i) <- 2;
+          let now = ev.at_s in
+          st.fl.now_s <- now;
+          Hot.drain_idle st;
+          let backlog_s = st.free_at.(i) -. now in
+          st.free_at.(i) <- now;
+          if backlog_s > 0.0 then begin
+            let tgt = route_redispatch st policy i in
+            if tgt >= 0 then begin
+              (* Move the unfinished capacity-seconds; token attribution
+                 follows at the decode rate (a lower bound on the mix's
+                 token density, so a node's ledger can't go negative). *)
+              let moved = backlog_s *. st.decode_rate in
+              st.fl.redispatched <- st.fl.redispatched +. moved;
+              st.node_tokens.(i) <- st.node_tokens.(i) -. moved;
+              st.node_tokens.(tgt) <- st.node_tokens.(tgt) +. moved;
+              let free = st.free_at.(tgt) in
+              let start = if free > now then free else now in
+              let finish = start +. backlog_s in
+              st.free_at.(tgt) <- finish;
+              Hot.heap_update st tgt;
+              Hot.mark_hot st tgt;
+              if finish > st.fl.makespan_s then st.fl.makespan_s <- finish
+            end
+            (* No eligible node: the backlog dies with its node and
+               stays attributed to it. *)
+          end
+        end
+    | Recover ->
+        if st.status.(i) <> 0 then begin
+          st.status.(i) <- 0;
+          if ev.at_s > st.free_at.(i) then st.free_at.(i) <- ev.at_s;
+          Hot.heap_add st i
+        end
+  end
+
+type shard_out = {
+  o_lo : int;
+  o_dispatched : int;
+  o_dropped : int;
+  o_tokens : float;
+  o_redispatched : float;
+  o_busy_s : float;
+  o_makespan_s : float;
+  o_peak_rack_hot : int;
+  o_overrides : int;
+  o_ttft : Sketch.t;
+  o_e2e : Sketch.t;
+  o_queue : Sketch.t;
+  o_node_tokens : float array;
+  o_node_requests : int array;
+  o_sink : Sink.t option;
+}
+
+let make_state cfg shard sink =
+  let lo = shard * cfg.nodes / cfg.shards in
+  let hi = (shard + 1) * cfg.nodes / cfg.shards in
+  let n = hi - lo in
+  let racks = ((n - 1) / cfg.rack_size) + 1 in
+  let st =
+    {
+      lo;
+      n;
+      total_nodes = cfg.nodes;
+      total_shards = cfg.shards;
+      rack_size = cfg.rack_size;
+      rack_cap = cfg.rack_power_cap;
+      idle_after_s = cfg.idle_after_s;
+      prefill_rate = cfg.prefill_tokens_per_s;
+      decode_rate = cfg.decode_tokens_per_s;
+      tok_lat = cfg.decode_token_latency_s;
+      free_at = Array.make n 0.0;
+      node_tokens = Array.make n 0.0;
+      node_requests = Array.make n 0;
+      status = Array.make n 0;
+      heap = Array.make n 0;
+      pos = Array.make n (-1);
+      heap_len = 0;
+      hot = Array.make n 0;
+      rack_hot = Array.make racks 0;
+      idle = Heap.create ~dummy:(-1) ();
+      scratch = Array.make n 0;
+      scratch_len = 0;
+      peak_rack_hot = 0;
+      overrides = 0;
+      rr = 0;
+      dispatched = 0;
+      dropped = 0;
+      fl =
+        {
+          now_s = 0.0;
+          busy_s = 0.0;
+          makespan_s = 0.0;
+          tokens = 0.0;
+          redispatched = 0.0;
+        };
+      ttft = Sketch.create ();
+      e2e = Sketch.create ();
+      queue = Sketch.create ();
+      m = Option.map Sink.metrics sink;
+    }
+  in
+  (* All nodes start active with free_at 0 and ids ascending: the
+     identity arrangement already satisfies the heap order. *)
+  for i = 0 to n - 1 do
+    st.heap.(i) <- i;
+    st.pos.(i) <- i
+  done;
+  st.heap_len <- n;
+  st
+
+(* One shard's pass over the whole trace (ALLOC-HOT Driver: the arrays,
+   sketches and cursor above are setup; the request loop below must not
+   allocate). *)
+let run_shard cfg spec policy events requests seed with_obs exact shard =
+  let sink =
+    if with_obs then Some (Sink.create ~events:false ~exact_histograms:exact ())
+    else None
+  in
+  let st = make_state cfg shard sink in
+  let cur = Arrivals.create ~seed spec in
+  (* Flat read cell: a per-request [Arrivals.arrival_s] accessor call
+     would box its float return, paid [shards] times per request. *)
+  let clk = Arrivals.clock cur in
+  let nev = Array.length events in
+  let ep = ref 0 in
+  for i = 0 to requests - 1 do
+    Arrivals.next cur;
+    let now = clk.Arrivals.arrival_s in
+    while !ep < nev && (Array.unsafe_get events !ep).at_s <= now do
+      apply_event st policy (Array.unsafe_get events !ep);
+      incr ep
+    done;
+    let owner =
+      match policy with
+      | Session_affinity ->
+          shard_of_node
+            (hash_user (Arrivals.user cur) mod st.total_nodes)
+            ~nodes:st.total_nodes ~shards:st.total_shards
+      | Round_robin | Least_loaded | Power_aware -> i mod st.total_shards
+    in
+    if owner = shard then begin
+      st.fl.now_s <- now;
+      Hot.drain_idle st;
+      let idx = Hot.route st policy (Arrivals.user cur) in
+      if idx < 0 then begin
+        st.dropped <- st.dropped + 1;
+        match st.m with
+        | None -> ()
+        | Some m -> Metrics.incr m "fleet/dropped"
+      end
+      else
+        Hot.assign st
+          (Arrivals.prefill_tokens cur)
+          (Arrivals.decode_tokens cur)
+          idx
+    end
+  done;
+  (match st.m with
+  | None -> ()
+  | Some m ->
+      (* Stamp = value, so the shard-merge "latest stamp wins" rule
+         yields the fleet max for both gauges at any merge order. *)
+      Metrics.set_stamped m ~stamp:st.fl.makespan_s "fleet/makespan_s"
+        st.fl.makespan_s;
+      Metrics.set_stamped m
+        ~stamp:(float st.peak_rack_hot)
+        "fleet/peak_rack_hot"
+        (float st.peak_rack_hot);
+      Metrics.incr m ~by:st.fl.tokens "fleet/tokens";
+      Metrics.incr m ~by:st.fl.redispatched "fleet/redispatched_tokens");
+  {
+    o_lo = st.lo;
+    o_dispatched = st.dispatched;
+    o_dropped = st.dropped;
+    o_tokens = st.fl.tokens;
+    o_redispatched = st.fl.redispatched;
+    o_busy_s = st.fl.busy_s;
+    o_makespan_s = st.fl.makespan_s;
+    o_peak_rack_hot = st.peak_rack_hot;
+    o_overrides = st.overrides;
+    o_ttft = st.ttft;
+    o_e2e = st.e2e;
+    o_queue = st.queue;
+    o_node_tokens = st.node_tokens;
+    o_node_requests = st.node_requests;
+    o_sink = sink;
+  }
+
+type result = {
+  r_nodes : int;
+  r_shards : int;
+  dispatched : int;
+  dropped : int;
+  total_tokens : float;
+  redispatched_tokens : float;
+  makespan_s : float;
+  throughput_tokens_per_s : float;
+  imbalance : float;
+  mean_utilization : float;
+  peak_rack_hot : int;
+  power_cap_overrides : int;
+  ttft : Sketch.t;
+  e2e : Sketch.t;
+  queue_wait : Sketch.t;
+  per_node_tokens : float array;
+  per_node_requests : int array;
+}
+
+let validate_events cfg events =
+  let n = Array.length events in
+  for i = 0 to n - 1 do
+    let ev = events.(i) in
+    if ev.node < 0 || ev.node >= cfg.nodes then
+      invalid_arg "Fleet.run: event node out of range";
+    if not (ev.at_s >= 0.0) then invalid_arg "Fleet.run: event time < 0";
+    if i > 0 && ev.at_s < events.(i - 1).at_s then
+      invalid_arg "Fleet.run: node_events not sorted by time"
+  done
+
+let run ?domains ?obs ?(node_events = [||]) ~policy ~requests ~seed cfg spec =
+  validate_config cfg;
+  if requests < 1 then invalid_arg "Fleet.run: requests < 1";
+  validate_events cfg node_events;
+  let with_obs = Option.is_some obs in
+  let exact =
+    match obs with Some s -> Sink.exact_histograms s | None -> false
+  in
+  let outs =
+    Par.parallel_init ?domains cfg.shards
+      (run_shard cfg spec policy node_events requests seed with_obs exact)
+  in
+  (* Merge in shard-index order — the Par convention that makes float
+     sums and sink merges independent of the domain count. *)
+  let per_node_tokens = Array.make cfg.nodes 0.0 in
+  let per_node_requests = Array.make cfg.nodes 0 in
+  let ttft = Sketch.create () in
+  let e2e = Sketch.create () in
+  let queue_wait = Sketch.create () in
+  let dispatched = ref 0 in
+  let dropped = ref 0 in
+  let tokens = ref 0.0 in
+  let redispatched = ref 0.0 in
+  let busy = ref 0.0 in
+  let makespan = ref 0.0 in
+  let peak = ref 0 in
+  let overrides = ref 0 in
+  Array.iter
+    (fun o ->
+      Array.blit o.o_node_tokens 0 per_node_tokens o.o_lo
+        (Array.length o.o_node_tokens);
+      Array.blit o.o_node_requests 0 per_node_requests o.o_lo
+        (Array.length o.o_node_requests);
+      Sketch.merge_into ~into:ttft o.o_ttft;
+      Sketch.merge_into ~into:e2e o.o_e2e;
+      Sketch.merge_into ~into:queue_wait o.o_queue;
+      dispatched := !dispatched + o.o_dispatched;
+      dropped := !dropped + o.o_dropped;
+      tokens := !tokens +. o.o_tokens;
+      redispatched := !redispatched +. o.o_redispatched;
+      busy := !busy +. o.o_busy_s;
+      if o.o_makespan_s > !makespan then makespan := o.o_makespan_s;
+      if o.o_peak_rack_hot > !peak then peak := o.o_peak_rack_hot;
+      overrides := !overrides + o.o_overrides)
+    outs;
+  (match obs with
+  | None -> ()
+  | Some s ->
+      Array.iter
+        (fun o ->
+          match o.o_sink with
+          | Some ps -> Sink.merge_into ~into:s ps
+          | None -> ())
+        outs);
+  let max_node_tokens = Array.fold_left Float.max 0.0 per_node_tokens in
+  let mean_node_tokens =
+    Array.fold_left ( +. ) 0.0 per_node_tokens /. float cfg.nodes
+  in
+  {
+    r_nodes = cfg.nodes;
+    r_shards = cfg.shards;
+    dispatched = !dispatched;
+    dropped = !dropped;
+    total_tokens = !tokens;
+    redispatched_tokens = !redispatched;
+    makespan_s = !makespan;
+    throughput_tokens_per_s =
+      (if !makespan > 0.0 then !tokens /. !makespan else 0.0);
+    imbalance =
+      (if mean_node_tokens > 0.0 then max_node_tokens /. mean_node_tokens
+       else 1.0);
+    mean_utilization =
+      (if !makespan > 0.0 then !busy /. (float cfg.nodes *. !makespan)
+       else 0.0);
+    peak_rack_hot = !peak;
+    power_cap_overrides = !overrides;
+    ttft;
+    e2e;
+    queue_wait;
+    per_node_tokens;
+    per_node_requests;
+  }
+
+type objectives = { max_ttft_p99_s : float; max_e2e_p99_s : float }
+
+let interactive = { max_ttft_p99_s = 0.5; max_e2e_p99_s = 30.0 }
+
+type frontier_point = {
+  fp_policy : policy;
+  offered_req_per_s : float;
+  utilization_of_capacity : float;
+  ttft_p50_s : float;
+  ttft_p99_s : float;
+  e2e_p99_s : float;
+  fp_imbalance : float;
+  fp_throughput_tokens_per_s : float;
+  fp_dropped : int;
+  meets_slo : bool;
+}
+
+let sweep ?domains ?node_events ~policies ~rates ~requests ~seed objectives cfg
+    spec =
+  validate_config cfg;
+  let capacity = capacity_req_per_s cfg spec in
+  let grid =
+    List.concat_map (fun p -> List.map (fun r -> (p, r)) rates) policies
+  in
+  Par.parallel_map ?domains
+    (fun (policy, rate) ->
+      let spec = Arrivals.with_mean_rate spec rate in
+      let res = run ?node_events ~policy ~requests ~seed cfg spec in
+      let ttft_p50 = Sketch.quantile res.ttft 0.50 in
+      let ttft_p99 = Sketch.quantile res.ttft 0.99 in
+      let e2e_p99 = Sketch.quantile res.e2e 0.99 in
+      {
+        fp_policy = policy;
+        offered_req_per_s = rate;
+        utilization_of_capacity = rate /. capacity;
+        ttft_p50_s = ttft_p50;
+        ttft_p99_s = ttft_p99;
+        e2e_p99_s = e2e_p99;
+        fp_imbalance = res.imbalance;
+        fp_throughput_tokens_per_s = res.throughput_tokens_per_s;
+        fp_dropped = res.dropped;
+        meets_slo =
+          res.dropped = 0
+          && ttft_p99 <= objectives.max_ttft_p99_s
+          && e2e_p99 <= objectives.max_e2e_p99_s;
+      })
+    grid
+
+(* Static weight-sequence dispatch — Multi_node's backend.  Least-loaded
+   reuses the indexed-heap idea on accumulated weight: identical choice
+   sequence to the historical O(nodes) first-minimum scan (lex (load,
+   id) order), at O(log nodes) per request. *)
+let dispatch ~policy ~nodes weights =
+  if nodes < 1 then invalid_arg "Fleet.dispatch: nodes must be positive";
+  match policy with
+  | Session_affinity | Power_aware ->
+      invalid_arg "Fleet.dispatch: trace-driven policy needs Fleet.run"
+  | Round_robin -> Array.init (Array.length weights) (fun i -> i mod nodes)
+  | Least_loaded ->
+      let load = Array.make nodes 0.0 in
+      let heap = Array.init nodes (fun i -> i) in
+      let pos = Array.init nodes (fun i -> i) in
+      let less i j = load.(i) < load.(j) || (load.(i) = load.(j) && i < j) in
+      let rec sift_down p =
+        let l = (2 * p) + 1 in
+        if l < nodes then begin
+          let r = l + 1 in
+          let s = if r < nodes && less heap.(r) heap.(l) then r else l in
+          if less heap.(s) heap.(p) then begin
+            let a = heap.(p) and b = heap.(s) in
+            heap.(p) <- b;
+            pos.(b) <- p;
+            heap.(s) <- a;
+            pos.(a) <- s;
+            sift_down s
+          end
+        end
+      in
+      Array.map
+        (fun w ->
+          let i = heap.(0) in
+          load.(i) <- load.(i) +. w;
+          sift_down 0;
+          i)
+        weights

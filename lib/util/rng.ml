@@ -41,14 +41,14 @@ let m2_hi = 0x94D049BB
 let m2_lo = 0x133111EB
 
 (* High 32 bits of the exact 64-bit product of two 32-bit values. *)
-let mul_hi32 a b =
+let[@inline] mul_hi32 a b =
   let a1 = a lsr 16 and a0 = a land 0xFFFF in
   let b1 = b lsr 16 and b0 = b land 0xFFFF in
   let mid = (a0 * b1) + (a1 * b0) + ((a0 * b0) lsr 16) in
   (a1 * b1) + (mid lsr 16)
 
 (* Writes mix (hi, lo) into [t.out_hi]/[t.out_lo]; leaves the state alone. *)
-let mix_into t hi lo =
+let[@inline] mix_into t hi lo =
   (* z ^= z >>> 30 *)
   let lo = lo lxor (((hi lsl 2) land mask32) lor (lo lsr 30)) in
   let hi = hi lxor (hi lsr 30) in
@@ -66,7 +66,7 @@ let mix_into t hi lo =
   t.out_hi <- phi lxor (phi lsr 31)
 
 (* Advances the state by gamma and mixes it into the output halves. *)
-let next_out t =
+let[@inline] next_out t =
   let lo = t.lo + gamma_lo in
   let hi = (t.hi + gamma_hi + (lo lsr 32)) land mask32 in
   let lo = lo land mask32 in
@@ -127,17 +127,23 @@ let derive seed ~stream =
   r
 [@@hnlpu.lint_ignore "ALLOC-HOT"]
 
-let int t bound =
+let[@inline] int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   next_out t;
   let mask = ((t.out_hi lsl 31) lor (t.out_lo lsr 1)) land max_int in
   mask mod bound
 
-let float t bound =
-  (* 53 uniform mantissa bits. *)
+(* 53 uniform bits as an immediate int: the allocation-free primitive
+   the float draws build on.  Hot paths in other modules draw through
+   this because an immediate-int return never allocates, whereas a
+   non-inlined [float] call boxes its result (~2 words per draw). *)
+let[@inline] bits53 t =
   next_out t;
-  let bits = float_of_int ((t.out_hi lsl 21) lor (t.out_lo lsr 11)) in
-  bits /. 9007199254740992.0 *. bound
+  (t.out_hi lsl 21) lor (t.out_lo lsr 11)
+
+let[@inline] float t bound =
+  (* 53 uniform mantissa bits. *)
+  float_of_int (bits53 t) /. 9007199254740992.0 *. bound
 
 let bool t =
   next_out t;

@@ -31,6 +31,13 @@ val next_int64 : t -> int64
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
 
+val bits53 : t -> int
+(** 53 uniform bits as an immediate int — the allocation-free draw
+    primitive.  [float t b] equals
+    [float_of_int (bits53 t) /. 2.0 ** 53.0 *. b]; hot paths in other
+    modules draw through [bits53] because an immediate-int return never
+    allocates, where a non-inlined [float] call boxes its result. *)
+
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 

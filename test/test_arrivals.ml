@@ -1,0 +1,196 @@
+(* Properties of the streaming trace generator: the empirical arrival
+   rate matches the configured process, heavy-tail exponents are
+   recoverable from the emitted lengths, and a cursor restarted from the
+   same seed replays the identical trace (the property Fleet's
+   shard-local re-derivation of the shared trace rests on). *)
+
+open Hnlpu
+
+let pull_n spec seed n =
+  let c = Arrivals.create ~seed spec in
+  Array.init n (fun _ ->
+      Arrivals.next c;
+      ( Arrivals.arrival_s c,
+        Arrivals.prefill_tokens c,
+        Arrivals.decode_tokens c,
+        Arrivals.user c ))
+
+let empirical_rate spec seed n =
+  let c = Arrivals.create ~seed spec in
+  for _ = 1 to n do
+    Arrivals.next c
+  done;
+  float n /. Arrivals.arrival_s c
+
+let geo = Arrivals.Geometric { mean = 64 }
+
+(* Rate specs sized so the observation window covers many diurnal
+   periods / MMPP dwells — the long-run rate then concentrates. *)
+let process_under_test = function
+  | 0 -> (Arrivals.Poisson { rate_per_s = 50.0 }, 0.05)
+  | 1 ->
+      (* 20k arrivals at mean 50/s span ~400 s = 50 periods. *)
+      ( Arrivals.Diurnal
+          { mean_rate_per_s = 50.0; amplitude = 0.8; period_s = 8.0 },
+        0.07 )
+  | _ ->
+      (* ~200 dwells over the window; states within 4x of each other. *)
+      ( Arrivals.Mmpp
+          { rates_per_s = [| 25.0; 50.0; 100.0 |]; mean_dwell_s = 2.0 },
+        0.20 )
+
+let test_rate_matches_process =
+  QCheck.Test.make ~name:"empirical rate ~ configured long-run rate" ~count:30
+    QCheck.(pair (int_range 0 2) (int_range 1 10_000))
+    (fun (kind, seed) ->
+      let process, tol = process_under_test kind in
+      let spec = { (Arrivals.chat ~rate_per_s:1.0) with Arrivals.process } in
+      let expected = Arrivals.mean_rate_per_s spec in
+      let actual = empirical_rate spec seed 20_000 in
+      abs_float (actual -. expected) /. expected < tol)
+
+let test_pareto_tail_recovered =
+  (* Hill estimator over the top order statistics recovers alpha. *)
+  QCheck.Test.make ~name:"Pareto tail index recovered (Hill)" ~count:10
+    QCheck.(pair (float_range 1.2 2.5) (int_range 1 10_000))
+    (fun (alpha, seed) ->
+      let spec =
+        {
+          (Arrivals.chat ~rate_per_s:100.0) with
+          Arrivals.decode = Arrivals.Pareto { alpha; xmin = 50.0; cap = 10_000_000 };
+        }
+      in
+      let n = 30_000 in
+      let draws = pull_n spec seed n in
+      let xs = Array.map (fun (_, _, d, _) -> float d) draws in
+      Array.sort (fun a b -> compare b a) xs;
+      let k = 1500 in
+      let xk = xs.(k) in
+      let s = ref 0.0 in
+      for i = 0 to k - 1 do
+        s := !s +. log (xs.(i) /. xk)
+      done;
+      let hill = float k /. !s in
+      abs_float (hill -. alpha) /. alpha < 0.25)
+
+let test_restart_equals_fresh =
+  QCheck.Test.make ~name:"cursor restart = fresh cursor, same seed" ~count:30
+    QCheck.(pair (int_range 0 2) (int_range 1 10_000))
+    (fun (kind, seed) ->
+      let process, _ = process_under_test kind in
+      let spec =
+        {
+          (Arrivals.chat ~rate_per_s:1.0) with
+          Arrivals.process;
+          Arrivals.prefill = Arrivals.Pareto { alpha = 1.5; xmin = 8.0; cap = 4096 };
+        }
+      in
+      pull_n spec seed 500 = pull_n spec seed 500)
+
+let test_arrivals_monotone =
+  QCheck.Test.make ~name:"arrival times strictly nondecreasing" ~count:20
+    QCheck.(pair (int_range 0 2) (int_range 1 10_000))
+    (fun (kind, seed) ->
+      let process, _ = process_under_test kind in
+      let spec = { (Arrivals.chat ~rate_per_s:1.0) with Arrivals.process } in
+      let tr = pull_n spec seed 2_000 in
+      let ok = ref true in
+      for i = 1 to Array.length tr - 1 do
+        let t0, _, _, _ = tr.(i - 1) and t1, _, _, _ = tr.(i) in
+        if t1 < t0 then ok := false
+      done;
+      !ok)
+
+(* --- unit checks ---------------------------------------------------------- *)
+
+let test_with_mean_rate () =
+  List.iter
+    (fun kind ->
+      let process, _ = process_under_test kind in
+      let spec = { (Arrivals.chat ~rate_per_s:1.0) with Arrivals.process } in
+      let rescaled = Arrivals.with_mean_rate spec 123.0 in
+      Alcotest.(check (float 1e-9))
+        "rescaled long-run rate" 123.0
+        (Arrivals.mean_rate_per_s rescaled))
+    [ 0; 1; 2 ]
+
+let test_mean_tokens () =
+  Alcotest.(check (float 1e-9))
+    "geometric mean" 64.0
+    (Arrivals.mean_tokens geo);
+  Alcotest.(check (float 1e-9))
+    "pareto mean (alpha 2)" 100.0
+    (Arrivals.mean_tokens (Arrivals.Pareto { alpha = 2.0; xmin = 50.0; cap = 100_000 }));
+  Alcotest.(check bool)
+    "pareto alpha <= 1 diverges" true
+    (Arrivals.mean_tokens (Arrivals.Pareto { alpha = 1.0; xmin = 50.0; cap = 100 })
+     = infinity)
+
+let test_lengths_positive_and_capped () =
+  let spec =
+    {
+      (Arrivals.chat ~rate_per_s:10.0) with
+      Arrivals.decode = Arrivals.Pareto { alpha = 1.1; xmin = 1.0; cap = 500 };
+      Arrivals.users = 7;
+    }
+  in
+  let tr = pull_n spec 42 5_000 in
+  Array.iter
+    (fun (_, p, d, u) ->
+      assert (p >= 1);
+      assert (d >= 1 && d <= 500);
+      assert (u >= 0 && u < 7))
+    tr;
+  Alcotest.(check pass) "lengths in range" () ()
+
+let test_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "rate <= 0" true
+    (bad (fun () -> Arrivals.create ~seed:1 (Arrivals.chat ~rate_per_s:0.0)));
+  Alcotest.(check bool) "amplitude >= 1" true
+    (bad (fun () ->
+         Arrivals.create ~seed:1
+           {
+             (Arrivals.chat ~rate_per_s:1.0) with
+             Arrivals.process =
+               Arrivals.Diurnal
+                 { mean_rate_per_s = 1.0; amplitude = 1.0; period_s = 10.0 };
+           }));
+  Alcotest.(check bool) "empty MMPP" true
+    (bad (fun () ->
+         Arrivals.create ~seed:1
+           {
+             (Arrivals.chat ~rate_per_s:1.0) with
+             Arrivals.process =
+               Arrivals.Mmpp { rates_per_s = [||]; mean_dwell_s = 1.0 };
+           }));
+  Alcotest.(check bool) "users < 1" true
+    (bad (fun () ->
+         Arrivals.create ~seed:1 { (Arrivals.chat ~rate_per_s:1.0) with Arrivals.users = 0 }));
+  Alcotest.(check bool) "pareto alpha <= 0" true
+    (bad (fun () ->
+         Arrivals.create ~seed:1
+           {
+             (Arrivals.chat ~rate_per_s:1.0) with
+             Arrivals.prefill = Arrivals.Pareto { alpha = 0.0; xmin = 1.0; cap = 10 };
+           }))
+
+let () =
+  Alcotest.run "hnlpu_arrivals"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_rate_matches_process;
+            test_pareto_tail_recovered;
+            test_restart_equals_fresh;
+            test_arrivals_monotone;
+          ] );
+      ( "units",
+        [
+          Alcotest.test_case "with_mean_rate" `Quick test_with_mean_rate;
+          Alcotest.test_case "mean_tokens" `Quick test_mean_tokens;
+          Alcotest.test_case "length ranges" `Quick test_lengths_positive_and_capped;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -106,6 +106,216 @@ let test_fleet_validation () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Fleet: sharded cluster simulator ------------------------------------ *)
+
+let fleet_config nodes shards =
+  { (Fleet.config_of_model ~nodes ~shards config) with Fleet.idle_after_s = 0.05 }
+
+let near_capacity cfg spec frac = Fleet.capacity_req_per_s cfg spec *. frac
+
+let chat_spec cfg frac =
+  Arrivals.with_mean_rate (Arrivals.chat ~rate_per_s:1.0) (near_capacity cfg (Arrivals.chat ~rate_per_s:1.0) frac)
+
+let chaos cfg =
+  (* Fail a quarter of the fleet mid-trace, recover shortly after. *)
+  Fleet.fail_recover_schedule ~nodes:cfg.Fleet.nodes ~fraction:0.25 ~at_s:0.2
+    ~recover_after_s:0.3
+
+let test_fleet_run_deterministic_across_domains () =
+  let cfg = fleet_config 64 4 in
+  let spec = chat_spec cfg 0.8 in
+  let run domains =
+    let obs = Obs.Sink.create ~events:false () in
+    let r =
+      Fleet.run ~domains ~obs ~node_events:(chaos cfg) ~policy:Fleet.Least_loaded
+        ~requests:20_000 ~seed:7 cfg spec
+    in
+    (Marshal.to_string r [], Obs.Metrics.to_json (Obs.Sink.metrics obs))
+  in
+  let ref_r, ref_m = run 1 in
+  List.iter
+    (fun j ->
+      let r, m = run j in
+      Alcotest.(check bool)
+        (Printf.sprintf "result bytes identical at j=%d" j)
+        true (String.equal ref_r r);
+      Alcotest.(check string) (Printf.sprintf "metrics identical at j=%d" j) ref_m m)
+    [ 2; 4; 8 ]
+
+let test_fleet_policies_deterministic () =
+  (* Every policy, not just LL: same bytes at j=1 and j=4, with chaos. *)
+  let cfg = fleet_config 48 3 in
+  let spec =
+    { (chat_spec cfg 0.7) with
+      Arrivals.decode = Arrivals.Pareto { alpha = 1.4; xmin = 32.0; cap = 8192 } }
+  in
+  List.iter
+    (fun policy ->
+      let run domains =
+        Marshal.to_string
+          (Fleet.run ~domains ~node_events:(chaos cfg) ~policy ~requests:10_000
+             ~seed:11 cfg spec)
+          []
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s identical j=1 vs j=4" (Fleet.policy_name policy))
+        true
+        (String.equal (run 1) (run 4)))
+    [ Fleet.Round_robin; Fleet.Least_loaded; Fleet.Session_affinity; Fleet.Power_aware ]
+
+let test_fleet_conservation_and_accounting () =
+  let cfg = fleet_config 32 4 in
+  let spec = chat_spec cfg 0.8 in
+  let r =
+    Fleet.run ~domains:2 ~node_events:(chaos cfg) ~policy:Fleet.Least_loaded
+      ~requests:15_000 ~seed:3 cfg spec
+  in
+  Alcotest.(check int) "dispatched + dropped = requests" 15_000
+    (r.Fleet.dispatched + r.Fleet.dropped);
+  let node_sum = Array.fold_left ( +. ) 0.0 r.Fleet.per_node_tokens in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-node ledger %.1f ~ total %.1f" node_sum r.Fleet.total_tokens)
+    true
+    (abs_float (node_sum -. r.Fleet.total_tokens) /. r.Fleet.total_tokens < 1e-9);
+  Alcotest.(check int) "per-node requests sum" r.Fleet.dispatched
+    (Array.fold_left ( + ) 0 r.Fleet.per_node_requests);
+  Alcotest.(check bool) "failures actually moved work" true
+    (r.Fleet.redispatched_tokens > 0.0);
+  Alcotest.(check bool) "utilization sane" true
+    (r.Fleet.mean_utilization > 0.0 && r.Fleet.mean_utilization <= 1.0)
+
+let test_fleet_ll_beats_rr_on_heavy_tail () =
+  let cfg = fleet_config 32 4 in
+  let spec =
+    { (chat_spec cfg 0.6) with
+      Arrivals.decode = Arrivals.Pareto { alpha = 1.3; xmin = 16.0; cap = 65536 } }
+  in
+  let run policy =
+    Fleet.run ~domains:2 ~policy ~requests:20_000 ~seed:5 cfg spec
+  in
+  let rr = run Fleet.Round_robin and ll = run Fleet.Least_loaded in
+  Alcotest.(check bool)
+    (Printf.sprintf "LL %.3f <= RR %.3f" ll.Fleet.imbalance rr.Fleet.imbalance)
+    true
+    (ll.Fleet.imbalance <= rr.Fleet.imbalance +. 1e-9)
+
+let test_fleet_session_affinity_pins_users () =
+  let cfg = fleet_config 16 2 in
+  let spec = { (chat_spec cfg 0.2) with Arrivals.users = 1 } in
+  let r =
+    Fleet.run ~domains:2 ~policy:Fleet.Session_affinity ~requests:4_000 ~seed:9
+      cfg spec
+  in
+  (* One user = one home node: all load on a single node. *)
+  let loaded =
+    Array.fold_left (fun a t -> if t > 0.0 then a + 1 else a) 0 r.Fleet.per_node_tokens
+  in
+  Alcotest.(check int) "single hot node" 1 loaded;
+  Alcotest.(check bool)
+    (Printf.sprintf "imbalance %.1f ~ nodes" r.Fleet.imbalance)
+    true
+    (r.Fleet.imbalance > 15.9)
+
+let test_fleet_power_cap_respected () =
+  let base = fleet_config 32 2 in
+  let cfg =
+    { base with Fleet.rack_size = 8; rack_power_cap = 3; idle_after_s = 1e9 }
+  in
+  let spec = chat_spec cfg 0.5 in
+  let run policy = Fleet.run ~domains:2 ~policy ~requests:8_000 ~seed:13 cfg spec in
+  let ll = run Fleet.Least_loaded and pa = run Fleet.Power_aware in
+  Alcotest.(check bool)
+    (Printf.sprintf "LL ignores the cap (peak %d)" ll.Fleet.peak_rack_hot)
+    true
+    (ll.Fleet.peak_rack_hot > 3);
+  Alcotest.(check bool)
+    (Printf.sprintf "PA peak %d <= cap 3 (overrides %d)" pa.Fleet.peak_rack_hot
+       pa.Fleet.power_cap_overrides)
+    true
+    (pa.Fleet.power_cap_overrides > 0 || pa.Fleet.peak_rack_hot <= 3)
+
+let test_fleet_total_outage_drops () =
+  let cfg = fleet_config 8 2 in
+  let spec = chat_spec cfg 0.5 in
+  let events =
+    Fleet.fail_recover_schedule ~nodes:8 ~fraction:1.0 ~at_s:0.1
+      ~recover_after_s:1e6
+  in
+  let r =
+    Fleet.run ~domains:1 ~node_events:events ~policy:Fleet.Least_loaded
+      ~requests:2_000 ~seed:17 cfg spec
+  in
+  Alcotest.(check bool) "outage drops requests" true (r.Fleet.dropped > 0);
+  Alcotest.(check int) "accounting still closes" 2_000
+    (r.Fleet.dispatched + r.Fleet.dropped)
+
+let test_fleet_dispatch_matches_reference_scan () =
+  (* The indexed heap must reproduce the historical first-minimum scan
+     choice for choice. *)
+  let rng = Rng.create 23 in
+  let weights = Array.init 500 (fun _ -> float (1 + Rng.int rng 2000)) in
+  let nodes = 7 in
+  let heap_targets = Fleet.dispatch ~policy:Fleet.Least_loaded ~nodes weights in
+  let load = Array.make nodes 0.0 in
+  let scan_targets =
+    Array.map
+      (fun w ->
+        let best = ref 0 in
+        for n = 1 to nodes - 1 do
+          if load.(n) < load.(!best) then best := n
+        done;
+        load.(!best) <- load.(!best) +. w;
+        !best)
+      weights
+  in
+  Alcotest.(check bool) "identical choice sequence" true (heap_targets = scan_targets)
+
+let test_fleet_sweep_frontier () =
+  let cfg = fleet_config 16 2 in
+  let spec = Arrivals.chat ~rate_per_s:1.0 in
+  let capacity = Fleet.capacity_req_per_s cfg spec in
+  let pts =
+    Fleet.sweep ~domains:2 ~policies:[ Fleet.Least_loaded ]
+      ~rates:[ capacity *. 0.5; capacity *. 3.0 ]
+      ~requests:6_000 ~seed:21
+      (* Short trace, so the overload queue only reaches ~0.2 s; pin the
+         objective between the two regimes (30x above the uncongested
+         point, 3x below the congested one). *)
+      { Fleet.max_ttft_p99_s = 0.05; max_e2e_p99_s = 30.0 }
+      cfg spec
+  in
+  match pts with
+  | [ low; high ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "half capacity meets SLO (ttft p99 %.4f)" low.Fleet.ttft_p99_s)
+        true low.Fleet.meets_slo;
+      Alcotest.(check bool)
+        (Printf.sprintf "3x capacity violates SLO (ttft p99 %.4f)" high.Fleet.ttft_p99_s)
+        true (not high.Fleet.meets_slo);
+      Alcotest.(check bool) "queueing grows with load" true
+        (high.Fleet.ttft_p99_s > low.Fleet.ttft_p99_s)
+  | _ -> Alcotest.fail "two frontier points expected"
+
+let test_fleet_run_validation () =
+  let cfg = fleet_config 8 2 in
+  let spec = Arrivals.chat ~rate_per_s:10.0 in
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "shards > nodes" true
+    (rejects (fun () ->
+         Fleet.run ~policy:Fleet.Least_loaded ~requests:10 ~seed:1
+           { cfg with Fleet.shards = 9 } spec));
+  Alcotest.(check bool) "unsorted events" true
+    (rejects (fun () ->
+         Fleet.run
+           ~node_events:
+             [|
+               { Fleet.at_s = 1.0; node = 0; kind = Fleet.Fail };
+               { Fleet.at_s = 0.5; node = 1; kind = Fleet.Fail };
+             |]
+           ~policy:Fleet.Least_loaded ~requests:10 ~seed:1 cfg spec));
+  Alcotest.(check bool) "static dispatch rejects trace-driven policy" true
+    (rejects (fun () -> Fleet.dispatch ~policy:Fleet.Power_aware ~nodes:4 [| 1.0 |]))
+
 let () =
   Alcotest.run "hnlpu_fleet"
     [
@@ -123,5 +333,24 @@ let () =
           Alcotest.test_case "least-loaded balances" `Quick test_fleet_least_loaded_balances;
           Alcotest.test_case "idle nodes" `Quick test_fleet_empty_node_ok;
           Alcotest.test_case "validation" `Quick test_fleet_validation;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "deterministic across -j with chaos" `Quick
+            test_fleet_run_deterministic_across_domains;
+          Alcotest.test_case "all policies deterministic" `Quick
+            test_fleet_policies_deterministic;
+          Alcotest.test_case "conservation and accounting" `Quick
+            test_fleet_conservation_and_accounting;
+          Alcotest.test_case "LL <= RR imbalance on heavy tail" `Quick
+            test_fleet_ll_beats_rr_on_heavy_tail;
+          Alcotest.test_case "session affinity pins users" `Quick
+            test_fleet_session_affinity_pins_users;
+          Alcotest.test_case "rack power cap" `Quick test_fleet_power_cap_respected;
+          Alcotest.test_case "total outage drops" `Quick test_fleet_total_outage_drops;
+          Alcotest.test_case "heap dispatch = reference scan" `Quick
+            test_fleet_dispatch_matches_reference_scan;
+          Alcotest.test_case "SLO capacity frontier" `Quick test_fleet_sweep_frontier;
+          Alcotest.test_case "fleet validation" `Quick test_fleet_run_validation;
         ] );
     ]
